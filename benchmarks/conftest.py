@@ -1,0 +1,61 @@
+"""Shared fixtures and helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one exhibit (table or figure) of the paper's
+evaluation at *reproduction scale* and prints the resulting numbers, so that
+``pytest benchmarks/ --benchmark-only`` both measures running time and leaves
+a textual record of the reproduced data (collected into EXPERIMENTS.md).
+
+The dataset scale is controlled by the ``REPRO_BENCH_SCALE`` environment
+variable (``tiny`` / ``small`` / ``medium``; default ``small``).  Figures that
+sweep many configurations drop to the next-smaller scale automatically so the
+whole suite stays laptop-friendly.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.harness import prepare_dataset  # noqa: E402
+
+#: Scale used by single-configuration benchmarks.
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+#: Scale used by benchmarks that sweep many configurations.
+_SWEEP_FALLBACK = {"medium": "small", "small": "tiny", "tiny": "tiny"}
+SWEEP_SCALE = os.environ.get("REPRO_BENCH_SWEEP_SCALE", _SWEEP_FALLBACK[BENCH_SCALE])
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiment functions are deterministic and relatively expensive, so a
+    single round gives a representative timing without multiplying the cost of
+    the suite.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def bench_pipelines():
+    """Amazon-like and Epinions-like pipelines at the single-figure scale."""
+    return {
+        "amazon": prepare_dataset("amazon", scale=BENCH_SCALE, seed=0),
+        "epinions": prepare_dataset("epinions", scale=BENCH_SCALE, seed=0),
+    }
+
+
+@pytest.fixture(scope="session")
+def sweep_pipelines():
+    """Pipelines at the (smaller) sweep scale for multi-configuration figures."""
+    return {
+        "amazon": prepare_dataset("amazon", scale=SWEEP_SCALE, seed=0),
+        "epinions": prepare_dataset("epinions", scale=SWEEP_SCALE, seed=0),
+    }

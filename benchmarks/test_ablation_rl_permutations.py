@@ -1,0 +1,37 @@
+"""Ablation -- number of sampled permutations N in RL-Greedy.
+
+The paper fixes N = 20 without studying the trade-off.  This ablation sweeps
+N and checks the expected behaviour: revenue is non-decreasing in N (more
+permutations can only help, since the best one is kept and the chronological
+order is always included) while running time grows roughly linearly.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.algorithms.local_greedy import RandomizedLocalGreedy
+
+
+def _sweep(instance, permutation_counts):
+    rows = []
+    for count in permutation_counts:
+        result = RandomizedLocalGreedy(num_permutations=count, seed=0).run(instance)
+        rows.append((count, result.revenue, result.runtime_seconds))
+    return rows
+
+
+def test_ablation_rl_permutations(benchmark, sweep_pipelines):
+    instance = sweep_pipelines["amazon"].instance
+    rows = run_once(benchmark, _sweep, instance, (1, 4, 8, 16))
+
+    print("\nN    revenue          seconds")
+    for count, revenue, seconds in rows:
+        print(f"{count:<4d} {revenue:>14,.2f}  {seconds:>8.3f}")
+
+    revenues = [revenue for _, revenue, _ in rows]
+    times = [seconds for _, _, seconds in rows]
+    # More permutations never hurt revenue (best-of-N with a fixed seed path).
+    assert all(later >= earlier - 1e-9
+               for earlier, later in zip(revenues, revenues[1:]))
+    # Cost grows with N (the largest sweep is the slowest of the set).
+    assert times[-1] >= max(times[:-1]) * 0.8

@@ -1,0 +1,37 @@
+"""Figure 2 -- revenue at fixed saturation factors, class size > 1.
+
+Paper reference (Figure 2): for beta in {0.1, 0.5, 0.9} under Gaussian and
+exponential capacities, the algorithm hierarchy of Figure 1 is preserved, and
+the gap between G-Greedy and the rest widens as beta shrinks (stronger
+saturation punishes saturation-oblivious choices more).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure2_revenue_by_saturation
+
+
+def test_figure2_saturation_strength(benchmark, sweep_pipelines):
+    result = run_once(
+        benchmark,
+        figure2_revenue_by_saturation,
+        sweep_pipelines,
+        betas=(0.1, 0.5, 0.9),
+        capacity_distributions=("normal", "exponential"),
+        rl_permutations=6,
+    )
+    print("\n" + str(result))
+
+    for setting, per_beta in result.data.items():
+        for beta_label, revenues in per_beta.items():
+            context = f"{setting}/{beta_label}"
+            assert revenues["G-Greedy"] >= revenues["SL-Greedy"] * 0.95, context
+            assert revenues["G-Greedy"] > revenues["TopRA"], context
+            assert revenues["G-Greedy"] >= revenues["GlobalNo"] * 0.99, context
+        # The advantage of saturation-aware selection over GlobalNo should not
+        # shrink as saturation gets stronger (beta smaller).
+        def relative_gap(revenues):
+            return (revenues["G-Greedy"] - revenues["GlobalNo"]) / revenues["G-Greedy"]
+
+        assert relative_gap(per_beta["beta=0.1"]) >= relative_gap(per_beta["beta=0.9"]) - 0.05

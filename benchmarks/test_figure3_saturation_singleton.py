@@ -1,0 +1,33 @@
+"""Figure 3 -- revenue at fixed saturation factors with singleton item classes.
+
+Paper reference (Figure 3): with every item in its own class the hierarchy of
+Figure 2 persists; SL-Greedy remains behind RL-Greedy but the difference
+shrinks as beta grows (weaker saturation makes repeat decisions easier).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure3_revenue_by_saturation_singleton
+
+
+def test_figure3_singleton_classes(benchmark, sweep_pipelines):
+    result = run_once(
+        benchmark,
+        figure3_revenue_by_saturation_singleton,
+        sweep_pipelines,
+        betas=(0.1, 0.5, 0.9),
+        capacity_distributions=("normal", "exponential"),
+        rl_permutations=6,
+    )
+    print("\n" + str(result))
+
+    for setting, per_beta in result.data.items():
+        for beta_label, revenues in per_beta.items():
+            context = f"{setting}/{beta_label}"
+            assert revenues["G-Greedy"] >= revenues["SL-Greedy"] * 0.95, context
+            assert revenues["RL-Greedy"] >= revenues["SL-Greedy"] * 0.98, context
+            assert revenues["G-Greedy"] > revenues["TopRA"], context
+        # Revenue should not decrease as saturation weakens (larger beta allows
+        # profitable repeats).
+        assert per_beta["beta=0.9"]["G-Greedy"] >= per_beta["beta=0.1"]["G-Greedy"] * 0.95

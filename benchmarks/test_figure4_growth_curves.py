@@ -1,0 +1,44 @@
+"""Figure 4 -- expected revenue versus strategy size for GG / SLG / RLG.
+
+Paper reference (Figure 4): G-Greedy's revenue-vs-|S| curve shows classic
+diminishing marginal returns (concave growth); SL-Greedy and RL-Greedy show
+the same overall trend but with visible "segments" corresponding to switches
+between time steps.  The reproduction checks that all curves are
+non-decreasing, that G-Greedy's early increments dominate its late increments
+(concavity in aggregate), and that G-Greedy ends highest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure4_revenue_growth_curves
+
+
+def test_figure4_growth_curves(benchmark, bench_pipelines):
+    result = run_once(
+        benchmark,
+        figure4_revenue_growth_curves,
+        bench_pipelines["amazon"],
+        rl_permutations=6,
+    )
+    print("\n" + str(result))
+
+    curves = result.data["curves"]
+    assert set(curves) == {"G-Greedy", "SL-Greedy", "RL-Greedy"}
+    for name, curve in curves.items():
+        revenues = [revenue for _, revenue in curve]
+        assert all(later >= earlier - 1e-9
+                   for earlier, later in zip(revenues, revenues[1:])), name
+
+    # Aggregate concavity of the G-Greedy curve: the first half of the
+    # selections contributes more revenue than the second half.
+    gg = [revenue for _, revenue in curves["G-Greedy"]]
+    midpoint = len(gg) // 2
+    first_half_gain = gg[midpoint - 1] - 0.0
+    second_half_gain = gg[-1] - gg[midpoint - 1]
+    assert first_half_gain >= second_half_gain
+
+    # G-Greedy finishes at least as high as the local greedy algorithms.
+    assert gg[-1] >= [revenue for _, revenue in curves["SL-Greedy"]][-1] * 0.98

@@ -1,0 +1,52 @@
+"""Figure 5 -- histogram of repeat recommendations made by G-Greedy.
+
+Paper reference (Figure 5): with beta = 0.1 almost every user-item pair is
+recommended only once or twice (the dynamic adoption probability collapses on
+repetition); as beta grows to 0.9 the histogram spreads right, i.e. G-Greedy
+exploits the lack of saturation to repeat recommendations and boost revenue.
+The reproduction checks that the mean number of repeats is non-decreasing in
+beta and that strong saturation concentrates mass on a single recommendation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure5_repeat_histograms
+
+
+def _mean_repeats(counts):
+    total_pairs = sum(counts.values())
+    total_recommendations = sum(k * v for k, v in counts.items())
+    return total_recommendations / total_pairs
+
+
+def test_figure5_repeat_histograms(benchmark, bench_pipelines):
+    result = run_once(
+        benchmark,
+        figure5_repeat_histograms,
+        bench_pipelines["amazon"],
+        betas=(0.1, 0.5, 0.9),
+    )
+    print("\n" + str(result))
+
+    histograms = result.data["histograms"]
+    assert set(histograms) == {0.1, 0.5, 0.9}
+    for counts in histograms.values():
+        assert sum(counts.values()) > 0
+
+    # Repeats increase with beta (weaker saturation).
+    assert _mean_repeats(histograms[0.9]) >= _mean_repeats(histograms[0.5]) - 1e-9
+    assert _mean_repeats(histograms[0.5]) >= _mean_repeats(histograms[0.1]) - 1e-9
+
+    # The histogram is far more concentrated on one-or-two repeats under strong
+    # saturation than under weak saturation (the paper's skew-shift).
+    def low_repeat_share(counts):
+        return (counts.get(1, 0) + counts.get(2, 0)) / sum(counts.values())
+
+    assert low_repeat_share(histograms[0.1]) >= low_repeat_share(histograms[0.9]) + 0.1
+    # And under strong saturation long repeat chains are rare.
+    strong = histograms[0.1]
+    high_repeat_share = sum(v for k, v in strong.items() if k >= 4) / sum(strong.values())
+    assert high_repeat_share <= 0.1

@@ -1,0 +1,48 @@
+"""Figure 6 -- running time of G-Greedy on synthetic data of growing size.
+
+Paper reference (Figure 6): on synthetic instances with 100K-500K users (50M
+to 250M candidate triples) G-Greedy's running time grows almost linearly in
+the number of candidate triples, finishing the largest instance (2.5x the
+Netflix dataset) in about 13 minutes.  The reproduction sweeps growing user
+counts at laptop scale and checks near-linear growth: the time per candidate
+triple should stay within a small factor across the sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.datasets.synthetic import SyntheticConfig
+from repro.experiments.figures import figure6_scalability
+
+
+def test_figure6_scalability(benchmark):
+    config = SyntheticConfig(
+        num_items=200, num_classes=40, candidates_per_user=15, horizon=5,
+        display_limit=2, beta=0.5, seed=0,
+    )
+    result = run_once(
+        benchmark,
+        figure6_scalability,
+        user_counts=(250, 500, 1000, 2000),
+        base_config=config,
+    )
+    print("\n" + str(result))
+
+    points = result.data["points"]
+    assert len(points) == 4
+    triples = np.array([p[0] for p in points], dtype=float)
+    seconds = np.array([p[1] for p in points], dtype=float)
+    assert np.all(np.diff(triples) > 0)
+
+    # Near-linear scalability: fit the log-log growth exponent over the larger
+    # instances (the smallest point is dominated by fixed overheads) and check
+    # it stays close to 1 -- the paper's Figure 6 shows almost-linear growth.
+    slope = np.polyfit(np.log(triples[1:]), np.log(seconds[1:]), 1)[0]
+    print(f"log-log growth exponent (larger instances): {slope:.2f}")
+    assert slope <= 1.4
+
+    # Revenue grows with the number of users (more candidates to serve).
+    revenues = result.data["revenues"]
+    assert revenues[-1] > revenues[0]

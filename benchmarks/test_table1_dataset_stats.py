@@ -1,0 +1,41 @@
+"""Table 1 -- dataset statistics of the reproduction datasets.
+
+Paper reference (Table 1): Amazon has 23.0K users / 4.2K items / 681K ratings
+/ 16.1M positive-q triples / 94 classes; Epinions has 21.3K users / 1.1K items
+/ 32.9K ratings / 14.9M triples / 43 classes; the synthetic datasets have
+100K-500K users, 20K items, 500 classes and 50M-250M triples.  The
+reproduction regenerates the same statistics at reproduction scale; the shape
+to check is users >> items, Amazon denser than Epinions, skewed Amazon class
+sizes vs balanced Epinions class sizes.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.datasets.synthetic import SyntheticConfig
+from repro.experiments.figures import table1_dataset_statistics
+
+
+def test_table1_dataset_statistics(benchmark, bench_pipelines):
+    result = run_once(
+        benchmark,
+        table1_dataset_statistics,
+        bench_pipelines,
+        synthetic_config=SyntheticConfig(seed=0),
+    )
+    print("\n" + str(result))
+
+    rows = {row.name: row for row in result.data["rows"]}
+    amazon, epinions = rows["amazon"], rows["epinions"]
+    # Shape checks mirroring the paper's Table 1.
+    assert amazon.num_users > amazon.num_items
+    assert epinions.num_users > epinions.num_items
+    assert amazon.num_positive_triples > 0
+    assert epinions.num_positive_triples > 0
+    # Amazon's class sizes are skewed; Epinions' are comparatively balanced.
+    assert amazon.largest_class > 2 * amazon.median_class
+    assert epinions.largest_class <= 3 * epinions.median_class
+    # Synthetic input size equals users * candidates * horizon by construction.
+    synthetic = rows["synthetic"]
+    assert synthetic.num_ratings is None
+    assert synthetic.num_positive_triples > amazon.num_positive_triples

@@ -1,0 +1,102 @@
+"""Strategic timing around a planned sale -- the paper's motivating scenario.
+
+The introduction of the paper argues that when a product is scheduled to go on
+sale, a revenue-aware recommender should *postpone* recommending it to
+low-valuation users until the sale date (they will only buy at the reduced
+price) while recommending it to high-valuation users *before* the price drops
+(capturing the higher margin).  A static, rating-based recommender cannot make
+that distinction.
+
+This example sets up exactly that scenario -- one flagship product whose price
+drops on day 4, one high-valuation user and one low-valuation user -- and
+shows that Global Greedy schedules the two recommendations on different days,
+earning more than either "always recommend on day 0" or "always recommend on
+the sale day".
+
+Run with::
+
+    python examples/price_drop_campaign.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GlobalGreedy, RevMaxInstance, RevenueModel, Strategy, Triple
+from repro.pricing.valuation import GaussianValuation
+
+
+def build_instance() -> RevMaxInstance:
+    horizon = 7
+    full_price, sale_price = 500.0, 350.0
+    sale_day = 4
+
+    prices = np.full((1, horizon), full_price)
+    prices[0, sale_day:] = sale_price
+
+    # Two users with private valuations around different means.
+    valuations = {
+        0: GaussianValuation(mean=560.0, std=40.0),   # high-valuation user
+        1: GaussianValuation(mean=380.0, std=40.0),   # low-valuation user
+    }
+    interest = {0: 0.9, 1: 0.9}  # both are equally interested per the ratings
+
+    adoption = {}
+    for user, valuation in valuations.items():
+        adoption[(user, 0)] = [
+            interest[user] * valuation.acceptance_probability(prices[0, t])
+            for t in range(horizon)
+        ]
+
+    return RevMaxInstance.from_dense_adoption(
+        prices=prices,
+        adoption=adoption,
+        item_class=[0],
+        capacities=2,
+        betas=0.2,            # repeating the pitch quickly bores the user
+        display_limit=1,
+        num_users=2,
+        name="price-drop-campaign",
+    )
+
+
+def main() -> None:
+    instance = build_instance()
+    model = RevenueModel(instance)
+    sale_day = 4
+
+    print("Price schedule for the flagship product:")
+    print("  " + "  ".join(f"day{t}=${instance.price(0, t):.0f}"
+                           for t in range(instance.horizon)))
+    print("\nAdoption probability if recommended on a given day:")
+    for user in range(2):
+        row = "  ".join(f"{instance.probability(user, 0, t):.2f}"
+                        for t in range(instance.horizon))
+        label = "high-valuation" if user == 0 else "low-valuation "
+        print(f"  user {user} ({label}): {row}")
+
+    result = GlobalGreedy().run(instance)
+    print(f"\nG-Greedy plan ({result.summary()}):")
+    timing = {}
+    for triple in result.strategy.sorted_triples():
+        timing.setdefault(triple.user, []).append(triple.t)
+        print(f"  user {triple.user} <- flagship on day {triple.t} "
+              f"(price ${instance.price(0, triple.t):.0f})")
+
+    first_pitch = {user: min(days) for user, days in timing.items()}
+    if first_pitch.get(0, 99) < sale_day <= first_pitch.get(1, -1):
+        print("\n=> The plan pitches the high-valuation user BEFORE the sale and "
+              "the low-valuation user ON/AFTER the sale, as the paper's intro argues.")
+
+    # Compare against the two naive static timings.
+    naive_early = Strategy(instance.catalog, [Triple(0, 0, 0), Triple(1, 0, 0)])
+    naive_sale = Strategy(instance.catalog,
+                          [Triple(0, 0, sale_day), Triple(1, 0, sale_day)])
+    print("\nExpected revenue comparison:")
+    print(f"  strategic (G-Greedy):        ${result.revenue:8.2f}")
+    print(f"  recommend both on day 0:     ${model.revenue(naive_early):8.2f}")
+    print(f"  recommend both on sale day:  ${model.revenue(naive_sale):8.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Planning under uncertain future prices (§7 of the paper).
+
+When a seller only has a *distribution* over future prices (e.g. a price
+prediction model), the paper suggests planning on the mean prices and
+estimating the true expected revenue with a second-order Taylor expansion
+around the mean price vector.  This example:
+
+1. builds a small random-price market (Gaussian price distributions, adoption
+   probabilities that fall with price);
+2. plans a recommendation strategy with Global Greedy on the mean-price
+   instance;
+3. estimates the strategy's expected revenue three ways -- plugging in mean
+   prices, the Taylor expansion, and Monte-Carlo simulation over price draws --
+   and reports how much accuracy the Taylor correction buys.
+
+Run with::
+
+    python examples/random_price_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GlobalGreedy, ItemCatalog, PriceDistribution, TaylorRevenueModel
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    num_users, num_items, horizon = 20, 10, 5
+
+    catalog = ItemCatalog.from_assignment([item % 4 for item in range(num_items)])
+    mean_prices = rng.uniform(40.0, 300.0, size=(num_items, horizon))
+    price_std = 0.2 * mean_prices                      # 20% price uncertainty
+    distribution = PriceDistribution(mean_prices, price_std ** 2)
+
+    reference = mean_prices.mean(axis=1) * rng.uniform(0.9, 1.3, size=num_items)
+
+    def adoption_given_price(user: int, item: int, t: int, price: float) -> float:
+        """Willingness to buy falls linearly as the price exceeds the reference."""
+        return float(np.clip(1.3 - 0.8 * price / reference[item], 0.0, 1.0))
+
+    candidate_pairs = [
+        (user, int(item))
+        for user in range(num_users)
+        for item in rng.choice(num_items, size=4, replace=False)
+    ]
+
+    model = TaylorRevenueModel(
+        num_users=num_users,
+        catalog=catalog,
+        display_limit=2,
+        capacities=num_users,
+        betas=0.5,
+        price_distribution=distribution,
+        adoption_given_price=adoption_given_price,
+        candidate_pairs=candidate_pairs,
+    )
+
+    print("Planning on the mean-price instance with G-Greedy...")
+    planning_instance = model.mean_price_instance()
+    strategy = GlobalGreedy().build_strategy(planning_instance)
+    triples = strategy.sorted_triples()
+    print(f"  planned {len(triples)} recommendations over T={horizon}")
+
+    mean_estimate = model.expected_price_revenue(triples)
+    taylor_estimate = model.taylor_revenue(triples)
+    ground_truth = model.monte_carlo_revenue(triples, num_samples=1500, seed=0)
+
+    print("\nExpected revenue of the plan under random prices:")
+    print(f"  mean-price estimate (0th order):   ${mean_estimate:10,.2f}")
+    print(f"  Taylor estimate (2nd order):       ${taylor_estimate:10,.2f}")
+    print(f"  Monte-Carlo ground truth:          ${ground_truth:10,.2f}")
+    print(f"\n  |error| mean-price: ${abs(mean_estimate - ground_truth):,.2f}")
+    print(f"  |error| Taylor:     ${abs(taylor_estimate - ground_truth):,.2f}")
+    improvement = (abs(mean_estimate - ground_truth)
+                   - abs(taylor_estimate - ground_truth))
+    print(f"\n=> The second-order correction removes ${improvement:,.2f} of estimation "
+          "error, as §7 of the paper anticipates.")
+
+
+if __name__ == "__main__":
+    main()

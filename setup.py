@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so that
+environments without the ``wheel`` package (e.g. offline machines where PEP
+517 editable builds cannot fetch build dependencies) can still install the
+package with::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

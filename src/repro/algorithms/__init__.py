@@ -1,0 +1,38 @@
+"""REVMAX algorithms: greedy heuristics, baselines, exact and approximate solvers."""
+
+from repro.algorithms.base import AlgorithmResult, RevMaxAlgorithm
+from repro.algorithms.global_greedy import GlobalGreedy, GlobalGreedyNoSaturation
+from repro.algorithms.local_greedy import (
+    RandomizedLocalGreedy,
+    SequentialLocalGreedy,
+    greedy_single_step,
+)
+from repro.algorithms.baselines import TopRatingBaseline, TopRevenueBaseline
+from repro.algorithms.exact_single_step import SingleStepExactSolver, solve_single_step
+from repro.algorithms.group_dp import (
+    GroupBoundResult,
+    GroupDecompositionBound,
+    optimal_group_plan,
+)
+from repro.algorithms.local_search import LocalSearchApproximation
+from repro.algorithms.incomplete_prices import SubHorizonWrapper, split_horizon
+
+__all__ = [
+    "AlgorithmResult",
+    "GlobalGreedy",
+    "GlobalGreedyNoSaturation",
+    "GroupBoundResult",
+    "GroupDecompositionBound",
+    "optimal_group_plan",
+    "LocalSearchApproximation",
+    "RandomizedLocalGreedy",
+    "RevMaxAlgorithm",
+    "SequentialLocalGreedy",
+    "SingleStepExactSolver",
+    "SubHorizonWrapper",
+    "TopRatingBaseline",
+    "TopRevenueBaseline",
+    "greedy_single_step",
+    "solve_single_step",
+    "split_horizon",
+]

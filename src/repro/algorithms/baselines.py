@@ -1,0 +1,134 @@
+"""Baseline recommenders: TopRA (top rating) and TopRE (top expected revenue).
+
+§6.1 compares the greedy REVMAX algorithms against the two obvious strategies
+a conventional recommender would produce:
+
+* **TopRA** recommends to every user the ``k`` items with the highest
+  *predicted rating* -- the classical customer-centric recommendation;
+* **TopRE** recommends the ``k`` items with the highest *isolated expected
+  revenue* ``price x primitive adoption probability`` -- the static
+  revenue-aware heuristic of earlier work.
+
+Both baselines are inherently static, so (as in the paper) their per-user item
+sets are repeated at every time step of the horizon.  Repetition does not
+consume extra capacity (the constraint counts distinct users), but the display
+and capacity constraints are still enforced so the outputs remain valid
+REVMAX strategies.
+
+TopRA needs predicted ratings, which a bare :class:`RevMaxInstance` does not
+carry; callers coming through the dataset pipeline pass the candidates'
+predicted ratings, and otherwise the baseline falls back to ranking by the
+average primitive adoption probability (a monotone proxy for the rating).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.constraints import ConstraintChecker
+from repro.core.entities import Triple
+from repro.core.problem import RevMaxInstance
+from repro.core.strategy import Strategy
+from repro.algorithms.base import RevMaxAlgorithm
+
+__all__ = ["TopRatingBaseline", "TopRevenueBaseline"]
+
+
+def _fill_static_recommendations(
+    instance: RevMaxInstance,
+    scores: Mapping[int, Sequence[Tuple[int, float]]],
+) -> Strategy:
+    """Turn per-user ranked item lists into a repeated, valid strategy.
+
+    For every user the best-scoring items are taken in order until ``k`` items
+    are selected (items whose capacity is exhausted are skipped); each selected
+    item is then recommended at every time step of the horizon.
+    """
+    checker = ConstraintChecker(instance)
+    strategy = Strategy(instance.catalog)
+    for user, ranked in scores.items():
+        selected = 0
+        for item, _score in ranked:
+            if selected >= instance.display_limit:
+                break
+            # Skip items whose distinct audience is already full (the user is
+            # not part of it, so recommending would violate capacity).
+            if (not strategy.user_has_item(user, item)
+                    and strategy.item_audience_size(item) >= instance.capacity(item)):
+                continue
+            added_any = False
+            for t in range(instance.horizon):
+                triple = Triple(user, item, t)
+                if triple in strategy:
+                    continue
+                if checker.can_add(strategy, triple):
+                    strategy.add(triple)
+                    added_any = True
+            if added_any:
+                selected += 1
+    return strategy
+
+
+class TopRatingBaseline(RevMaxAlgorithm):
+    """TopRA: recommend each user's highest predicted-rating items, repeated.
+
+    Args:
+        predicted_ratings: optional mapping ``(user, item) -> predicted
+            rating`` (from the dataset pipeline's candidates).  Without it the
+            ranking falls back to the mean primitive adoption probability.
+    """
+
+    name = "TopRA"
+
+    def __init__(self, predicted_ratings: Optional[Mapping[Tuple[int, int], float]]
+                 = None) -> None:
+        self._predicted_ratings = dict(predicted_ratings or {})
+        self.last_extras: Dict[str, object] = {}
+
+    def _score(self, instance: RevMaxInstance, user: int, item: int) -> float:
+        if (user, item) in self._predicted_ratings:
+            return float(self._predicted_ratings[(user, item)])
+        vector = instance.adoption.get(user, item)
+        return float(np.mean(vector)) if vector is not None else 0.0
+
+    def build_strategy(self, instance: RevMaxInstance) -> Strategy:
+        scores: Dict[int, List[Tuple[int, float]]] = {}
+        for user in instance.users():
+            ranked = [
+                (item, self._score(instance, user, item))
+                for item in instance.candidate_items(user)
+            ]
+            ranked.sort(key=lambda pair: (-pair[1], pair[0]))
+            scores[user] = ranked
+        self.last_extras = {"uses_predicted_ratings": bool(self._predicted_ratings)}
+        return _fill_static_recommendations(instance, scores)
+
+
+class TopRevenueBaseline(RevMaxAlgorithm):
+    """TopRE: recommend the items with the highest isolated expected revenue.
+
+    The per-item score of a user is ``max over t of p(i, t) * q(u, i, t)`` --
+    the best single-shot expected revenue the pair could achieve; the chosen
+    items are then repeated over the whole horizon, as in the paper.
+    """
+
+    name = "TopRE"
+
+    def __init__(self) -> None:
+        self.last_extras: Dict[str, object] = {}
+
+    def build_strategy(self, instance: RevMaxInstance) -> Strategy:
+        scores: Dict[int, List[Tuple[int, float]]] = {}
+        for user in instance.users():
+            ranked = []
+            for item in instance.candidate_items(user):
+                best = max(
+                    instance.price(item, t) * instance.probability(user, item, t)
+                    for t in range(instance.horizon)
+                )
+                ranked.append((item, best))
+            ranked.sort(key=lambda pair: (-pair[1], pair[0]))
+            scores[user] = ranked
+        return _fill_static_recommendations(instance, scores)

@@ -1,0 +1,86 @@
+"""Exact PTIME solver for the single-time-step special case (§3.2).
+
+When ``T = 1`` neither saturation nor competition across time can play a
+role, so REVMAX reduces to a maximum-weight degree-constrained subgraph
+problem on the bipartite user-item graph:
+
+* one node per user with degree bound ``k`` (the display limit),
+* one node per item with degree bound ``q_i`` (the capacity),
+* an edge per candidate pair weighted ``p(i, 1) * q(u, i, 1)``.
+
+The optimal subgraph corresponds one-to-one to the optimal strategy.  The
+solver delegates to :func:`repro.graph.dcs.max_weight_degree_constrained_subgraph`
+(min-cost-flow based) and is mainly used as an *exact reference* in tests and
+in the small-instance theory benchmarks: greedy algorithms can be compared
+against the true optimum whenever ``T = 1``.
+
+For competition-free instances (every item in its own class, ``beta`` ignored
+because no repetition is allowed per time step), the per-time-step application
+of this solver also yields an exact solution of the multi-step problem when
+capacities are not binding across steps; that variant is exposed as
+:class:`PerStepExactSolver` and used as a strong reference point in ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.entities import Triple
+from repro.core.problem import RevMaxInstance
+from repro.core.strategy import Strategy
+from repro.graph.dcs import max_weight_degree_constrained_subgraph
+from repro.algorithms.base import RevMaxAlgorithm
+
+__all__ = ["SingleStepExactSolver", "solve_single_step"]
+
+
+def solve_single_step(instance: RevMaxInstance, time_step: int = 0) -> Strategy:
+    """Solve the restriction of the instance to one time step exactly.
+
+    Args:
+        instance: the REVMAX instance (its other time steps are ignored).
+        time_step: the time step to solve for.
+
+    Returns:
+        The optimal strategy containing only triples at ``time_step``.
+    """
+    if not (0 <= time_step < instance.horizon):
+        raise ValueError(f"time_step {time_step} outside horizon 0..{instance.horizon - 1}")
+    edges: Dict[Tuple[int, int], float] = {}
+    left_degrees: Dict[int, int] = {}
+    right_degrees: Dict[int, int] = {}
+    for user in instance.users():
+        left_degrees[user] = instance.display_limit
+        for item in instance.candidate_items(user):
+            probability = instance.probability(user, item, time_step)
+            if probability <= 0.0:
+                continue
+            weight = instance.price(item, time_step) * probability
+            if weight <= 0.0:
+                continue
+            edges[(user, item)] = weight
+            right_degrees[item] = instance.capacity(item)
+    result = max_weight_degree_constrained_subgraph(edges, left_degrees, right_degrees)
+    strategy = Strategy(instance.catalog)
+    for user, item in result.edges:
+        strategy.add(Triple(user, item, time_step))
+    return strategy
+
+
+class SingleStepExactSolver(RevMaxAlgorithm):
+    """Exact solver for instances with ``T = 1`` (Max-DCS reduction).
+
+    Raises:
+        ValueError: at :meth:`build_strategy` time if the instance has more
+            than one time step.
+    """
+
+    name = "Exact-T1"
+
+    def build_strategy(self, instance: RevMaxInstance) -> Strategy:
+        if instance.horizon != 1:
+            raise ValueError(
+                "SingleStepExactSolver only handles instances with horizon 1; "
+                f"got horizon {instance.horizon}"
+            )
+        return solve_single_step(instance, time_step=0)

@@ -1,0 +1,244 @@
+"""Global Greedy (G-Greedy), Algorithm 1 of the paper.
+
+G-Greedy grows the strategy one triple at a time, always adding the candidate
+with the largest positive marginal revenue that does not violate the display
+or capacity constraint.  Two engineering devices make it fast:
+
+* a **two-level heap**: one lower-level heap per (user, item) pair holding its
+  time-step candidates, and an upper-level heap over the lower heaps' roots,
+  so the global maximum is found without maintaining one giant heap;
+* **lazy forward** (Minoux's accelerated greedy): a candidate's stored
+  marginal revenue is only recomputed when the candidate reaches the top and
+  its freshness flag shows it is stale -- valid because the revenue function
+  is submodular (Theorem 2), so stale values are upper bounds on current
+  marginal revenues.
+
+The class also covers variants used by the experiments:
+
+* ``ignore_saturation=True`` is the **GlobalNo** baseline: candidates are
+  *selected* as if ``beta_i = 1`` everywhere, but the reported revenue of the
+  final strategy uses the true saturation factors;
+* ``use_lazy_forward=False`` / ``use_two_level_heap=False`` are ablations that
+  must produce the same strategy while doing more work (benchmarked in
+  ``benchmarks/test_ablation_*``).
+
+The optional ``allowed_times`` / ``initial_strategy`` arguments support the
+gradually-available-prices experiments (§6.3), where the horizon is solved one
+sub-horizon at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.constraints import ConstraintChecker
+from repro.core.entities import Triple
+from repro.core.problem import RevMaxInstance
+from repro.core.revenue import RevenueModel
+from repro.core.strategy import Strategy
+from repro.heaps.binary_heap import AddressableMaxHeap
+from repro.heaps.two_level import TwoLevelHeap
+from repro.algorithms.base import RevMaxAlgorithm
+
+__all__ = ["GlobalGreedy", "GlobalGreedyNoSaturation"]
+
+
+class GlobalGreedy(RevMaxAlgorithm):
+    """The G-Greedy algorithm (two-level heaps + lazy forward).
+
+    Args:
+        use_lazy_forward: recompute stale marginal revenues lazily (default)
+            or eagerly after every selection.
+        use_two_level_heap: use the two-level heap of §5.1 (default) or a
+            single flat addressable heap (ablation).
+        ignore_saturation: select triples as if no saturation existed
+            (the GlobalNo baseline).
+    """
+
+    name = "G-Greedy"
+
+    def __init__(self, use_lazy_forward: bool = True,
+                 use_two_level_heap: bool = True,
+                 ignore_saturation: bool = False) -> None:
+        self._use_lazy_forward = use_lazy_forward
+        self._use_two_level_heap = use_two_level_heap
+        self._ignore_saturation = ignore_saturation
+        if ignore_saturation:
+            self.name = "GlobalNo"
+        self.last_growth_curve: List[Tuple[int, float]] = []
+        self.last_evaluations: int = 0
+        self.last_extras: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def build_strategy(self, instance: RevMaxInstance,
+                       allowed_times: Optional[Iterable[int]] = None,
+                       initial_strategy: Optional[Strategy] = None) -> Strategy:
+        """Run G-Greedy and return the constructed strategy.
+
+        Args:
+            instance: the REVMAX instance.
+            allowed_times: if given, only triples at these time steps are
+                candidates (the sub-horizon setting of §6.3).
+            initial_strategy: strategy carried over from earlier sub-horizons;
+                its triples count towards constraints and interact with new
+                candidates through competition and saturation.
+        """
+        selection_instance = (
+            instance.with_betas(1.0) if self._ignore_saturation else instance
+        )
+        selection_model = RevenueModel(selection_instance)
+        true_model = RevenueModel(instance)
+        checker = ConstraintChecker(instance)
+        allowed = set(allowed_times) if allowed_times is not None else None
+
+        strategy = (
+            initial_strategy.copy() if initial_strategy is not None
+            else Strategy(instance.catalog)
+        )
+        current_revenue = true_model.revenue(strategy) if len(strategy) else 0.0
+
+        heap, flags, group_keys = self._build_heaps(instance, allowed, strategy)
+        growth_curve: List[Tuple[int, float]] = []
+        max_selections = self._max_selections(instance, allowed) + len(strategy)
+
+        while len(strategy) < max_selections and len(heap) > 0:
+            key, priority = heap.peek()
+            triple = Triple(*key)
+            if not checker.can_add(strategy, triple):
+                self._discard_blocked(instance, heap, group_keys, strategy, triple)
+                continue
+            freshness = strategy.group_size(
+                triple.user, instance.class_of(triple.item)
+            )
+            if self._use_lazy_forward and flags[triple] != freshness:
+                self._refresh_group(
+                    heap, flags, group_keys, selection_model, strategy, triple,
+                    freshness,
+                )
+                continue
+            if priority <= 0.0:
+                break
+            true_gain = (
+                priority if not self._ignore_saturation
+                else true_model.marginal_revenue(strategy, triple)
+            )
+            strategy.add(triple)
+            current_revenue += true_gain
+            heap.discard(triple)
+            group_keys.get((triple.user, triple.item), set()).discard(triple)
+            growth_curve.append((len(strategy), current_revenue))
+            if not self._use_lazy_forward:
+                self._eager_refresh(
+                    heap, flags, group_keys, selection_model, strategy, triple,
+                    instance,
+                )
+
+        self.last_growth_curve = growth_curve
+        self.last_evaluations = selection_model.evaluations
+        self.last_extras = {
+            "lazy_forward": self._use_lazy_forward,
+            "two_level_heap": self._use_two_level_heap,
+            "ignore_saturation": self._ignore_saturation,
+        }
+        return strategy
+
+    # ------------------------------------------------------------------
+    # heap construction and maintenance
+    # ------------------------------------------------------------------
+    def _build_heaps(self, instance: RevMaxInstance,
+                     allowed: Optional[Set[int]],
+                     strategy: Strategy):
+        """Populate the candidate heap with isolated expected revenues."""
+        heap = TwoLevelHeap() if self._use_two_level_heap else AddressableMaxHeap()
+        flags: Dict[Triple, int] = {}
+        group_keys: Dict[Tuple[int, int], Set[Triple]] = {}
+        for triple in instance.candidate_triples():
+            if allowed is not None and triple.t not in allowed:
+                continue
+            if triple in strategy:
+                continue
+            priority = instance.expected_isolated_revenue(triple)
+            if priority <= 0.0:
+                continue
+            group = (triple.user, triple.item)
+            if self._use_two_level_heap:
+                heap.insert(group, triple, priority)
+            else:
+                heap.insert(triple, priority)
+            flags[triple] = 0
+            group_keys.setdefault(group, set()).add(triple)
+        return heap, flags, group_keys
+
+    @staticmethod
+    def _max_selections(instance: RevMaxInstance,
+                        allowed: Optional[Set[int]]) -> int:
+        """Upper bound ``k * T * |users with candidates|`` on selections."""
+        horizon = len(allowed) if allowed is not None else instance.horizon
+        return instance.display_limit * horizon * max(1, len(instance.users()))
+
+    @staticmethod
+    def _discard_blocked(instance: RevMaxInstance, heap, group_keys,
+                         strategy: Strategy, triple: Triple) -> None:
+        """Drop candidates that can never become feasible again.
+
+        A display violation concerns only the popped triple's (user, time)
+        slot, so only that candidate is dropped.  A capacity violation means
+        the item's distinct audience is full and the user is not part of it;
+        since the audience never shrinks, every remaining candidate of the
+        (user, item) pair is dead and the whole lower heap is removed (line 26
+        of Algorithm 1).
+        """
+        display_blocked = (
+            strategy.display_count(triple.user, triple.t)
+            >= instance.display_limit
+        )
+        group = (triple.user, triple.item)
+        if display_blocked:
+            heap.discard(triple)
+            group_keys.get(group, set()).discard(triple)
+            return
+        for candidate in list(group_keys.get(group, ())):
+            heap.discard(candidate)
+        group_keys.pop(group, None)
+
+    def _refresh_group(self, heap, flags, group_keys, model: RevenueModel,
+                       strategy: Strategy, triple: Triple, freshness: int) -> None:
+        """Recompute the marginal revenue of every candidate in the lower heap."""
+        group = (triple.user, triple.item)
+        for candidate in list(group_keys.get(group, ())):
+            if candidate not in heap:
+                continue
+            value = model.marginal_revenue(strategy, candidate)
+            flags[candidate] = freshness
+            heap.update(candidate, value)
+
+    def _eager_refresh(self, heap, flags, group_keys, model: RevenueModel,
+                       strategy: Strategy, added: Triple,
+                       instance: RevMaxInstance) -> None:
+        """Without lazy forward, refresh every candidate affected by ``added``.
+
+        Affected candidates are those of the same user whose item belongs to
+        the same class as the added item.
+        """
+        target_class = instance.class_of(added.item)
+        freshness = strategy.group_size(added.user, target_class)
+        for (user, item), keys in group_keys.items():
+            if user != added.user or instance.class_of(item) != target_class:
+                continue
+            for candidate in list(keys):
+                if candidate not in heap:
+                    continue
+                value = model.marginal_revenue(strategy, candidate)
+                flags[candidate] = freshness
+                heap.update(candidate, value)
+
+
+class GlobalGreedyNoSaturation(GlobalGreedy):
+    """The GlobalNo baseline: G-Greedy that pretends saturation does not exist."""
+
+    name = "GlobalNo"
+
+    def __init__(self) -> None:
+        super().__init__(ignore_saturation=True)

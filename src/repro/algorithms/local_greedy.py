@@ -1,0 +1,196 @@
+"""Local greedy algorithms: SL-Greedy and RL-Greedy (Algorithm 2 of the paper).
+
+Both algorithms finalise the recommendations of one *time step* at a time
+(unlike G-Greedy, which mixes time steps freely):
+
+* **Sequential Local Greedy (SL-Greedy)** processes the time steps in natural
+  chronological order ``0, 1, ..., T-1``;
+* **Randomized Local Greedy (RL-Greedy)** samples ``N`` random permutations of
+  the time steps, runs the per-step greedy under each permutation, and keeps
+  the permutation whose strategy earns the most revenue (Example 4 of the
+  paper shows why chronological order can be suboptimal).
+
+Within a single time step the selection is the same lazy-forward greedy used
+globally, restricted to that step's candidate triples; marginal revenues are
+always computed against the *full* strategy built so far, so recommendations
+fixed at other (earlier-processed) time steps are correctly accounted for.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.constraints import ConstraintChecker
+from repro.core.entities import Triple
+from repro.core.problem import RevMaxInstance
+from repro.core.revenue import RevenueModel
+from repro.core.strategy import Strategy
+from repro.heaps.binary_heap import AddressableMaxHeap
+from repro.algorithms.base import RevMaxAlgorithm
+
+__all__ = ["SequentialLocalGreedy", "RandomizedLocalGreedy", "greedy_single_step"]
+
+
+def greedy_single_step(
+    instance: RevMaxInstance,
+    model: RevenueModel,
+    checker: ConstraintChecker,
+    strategy: Strategy,
+    time_step: int,
+    growth_curve: Optional[List[Tuple[int, float]]] = None,
+    true_model: Optional[RevenueModel] = None,
+) -> None:
+    """Greedily add this time step's triples to ``strategy`` (in place).
+
+    Implements lines 5-15 of Algorithm 2: a max-heap over the step's candidate
+    triples is seeded with their marginal revenue given the current strategy,
+    and candidates are admitted best-first (with lazy re-evaluation) while
+    their marginal revenue stays positive and no constraint is violated.
+
+    Args:
+        instance: the REVMAX instance.
+        model: revenue model used for selection decisions.
+        checker: constraint checker enforcing validity.
+        strategy: the strategy built so far; modified in place.
+        time_step: the time step whose recommendations are being finalised.
+        growth_curve: optional list receiving ``(size, revenue)`` checkpoints.
+        true_model: model used for the growth-curve revenue (defaults to
+            ``model``).
+    """
+    true_model = true_model or model
+    heap = AddressableMaxHeap()
+    flags: Dict[Triple, int] = {}
+    for triple in instance.candidate_triples():
+        if triple.t != time_step or triple in strategy:
+            continue
+        value = model.marginal_revenue(strategy, triple)
+        if value <= 0.0:
+            # Marginal revenues only shrink as the strategy grows
+            # (submodularity), so a non-positive candidate can be skipped.
+            continue
+        heap.insert(triple, value)
+        flags[triple] = strategy.group_size(
+            triple.user, instance.class_of(triple.item)
+        )
+
+    while heap:
+        triple, priority = heap.peek()
+        triple = Triple(*triple)
+        if priority <= 0.0:
+            break
+        if not checker.can_add(strategy, triple):
+            heap.discard(triple)
+            continue
+        freshness = strategy.group_size(triple.user, instance.class_of(triple.item))
+        if flags[triple] != freshness:
+            value = model.marginal_revenue(strategy, triple)
+            flags[triple] = freshness
+            heap.update(triple, value)
+            continue
+        gain = (
+            priority if model is true_model
+            else true_model.marginal_revenue(strategy, triple)
+        )
+        strategy.add(triple)
+        heap.discard(triple)
+        if growth_curve is not None:
+            previous = growth_curve[-1][1] if growth_curve else 0.0
+            growth_curve.append((len(strategy), previous + gain))
+
+
+class SequentialLocalGreedy(RevMaxAlgorithm):
+    """SL-Greedy: per-time-step greedy in chronological order."""
+
+    name = "SL-Greedy"
+
+    def __init__(self) -> None:
+        self.last_growth_curve: List[Tuple[int, float]] = []
+        self.last_evaluations: int = 0
+        self.last_extras: Dict[str, object] = {}
+
+    def build_strategy(self, instance: RevMaxInstance,
+                       time_order: Optional[Sequence[int]] = None) -> Strategy:
+        """Build a strategy processing time steps in the given order.
+
+        Args:
+            instance: the REVMAX instance.
+            time_order: explicit processing order of the time steps; defaults
+                to chronological order (which is what SL-Greedy does).
+        """
+        model = RevenueModel(instance)
+        checker = ConstraintChecker(instance)
+        strategy = Strategy(instance.catalog)
+        growth_curve: List[Tuple[int, float]] = []
+        order = list(time_order) if time_order is not None else list(
+            range(instance.horizon)
+        )
+        for time_step in order:
+            greedy_single_step(
+                instance, model, checker, strategy, time_step, growth_curve
+            )
+        self.last_growth_curve = growth_curve
+        self.last_evaluations = model.evaluations
+        self.last_extras = {"time_order": order}
+        return strategy
+
+
+class RandomizedLocalGreedy(RevMaxAlgorithm):
+    """RL-Greedy: per-time-step greedy over ``N`` random time permutations.
+
+    Args:
+        num_permutations: number of distinct permutations to sample (the
+            paper uses ``N = 20``).
+        seed: random seed controlling the sampled permutations.
+    """
+
+    name = "RL-Greedy"
+
+    def __init__(self, num_permutations: int = 20, seed: Optional[int] = 0) -> None:
+        if num_permutations <= 0:
+            raise ValueError("num_permutations must be positive")
+        self._num_permutations = num_permutations
+        self._seed = seed
+        self.last_growth_curve: List[Tuple[int, float]] = []
+        self.last_evaluations: int = 0
+        self.last_extras: Dict[str, object] = {}
+
+    def _sample_permutations(self, horizon: int) -> List[Tuple[int, ...]]:
+        """Sample up to ``N`` *distinct* permutations of the time steps."""
+        total = math.factorial(horizon)
+        if total <= self._num_permutations:
+            return [tuple(p) for p in itertools.permutations(range(horizon))]
+        rng = np.random.default_rng(self._seed)
+        permutations = set()
+        # Always include chronological order so RL-Greedy never does worse
+        # than SL-Greedy by more than sampling noise on the other orders.
+        permutations.add(tuple(range(horizon)))
+        while len(permutations) < self._num_permutations:
+            permutations.add(tuple(rng.permutation(horizon).tolist()))
+        return sorted(permutations)
+
+    def build_strategy(self, instance: RevMaxInstance) -> Strategy:
+        model = RevenueModel(instance)
+        best_strategy: Optional[Strategy] = None
+        best_revenue = -float("inf")
+        best_curve: List[Tuple[int, float]] = []
+        best_order: Tuple[int, ...] = ()
+        runner = SequentialLocalGreedy()
+        for order in self._sample_permutations(instance.horizon):
+            strategy = runner.build_strategy(instance, time_order=order)
+            revenue = model.revenue(strategy)
+            if revenue > best_revenue:
+                best_revenue = revenue
+                best_strategy = strategy
+                best_curve = list(runner.last_growth_curve)
+                best_order = tuple(order)
+        self.last_growth_curve = best_curve
+        self.last_evaluations = model.evaluations
+        self.last_extras = {
+            "num_permutations": self._num_permutations,
+            "best_order": best_order,
+        }
+        return best_strategy if best_strategy is not None else Strategy(instance.catalog)

@@ -1,0 +1,193 @@
+"""Command-line interface for the REVMAX reproduction.
+
+The CLI wraps the experiment harness so the main workflows can be run without
+writing Python:
+
+``python -m repro.cli solve --dataset amazon --algorithm gg``
+    Prepare a dataset at the chosen scale, run one algorithm, print the
+    summary and (optionally) write the plan / result JSON.
+
+``python -m repro.cli compare --dataset amazon``
+    Run the paper's six-algorithm suite on one instance and print the revenue
+    / size / time comparison table.
+
+``python -m repro.cli exhibit table1|table2|figure1|...``
+    Regenerate one table or figure of the paper's evaluation and print its
+    data (the same functions the benchmarks call).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.algorithms.base import RevMaxAlgorithm
+from repro.algorithms.baselines import TopRatingBaseline, TopRevenueBaseline
+from repro.algorithms.global_greedy import GlobalGreedy, GlobalGreedyNoSaturation
+from repro.algorithms.local_greedy import RandomizedLocalGreedy, SequentialLocalGreedy
+from repro.datasets.synthetic import SyntheticConfig
+from repro.experiments import figures
+from repro.experiments.harness import (
+    SCALES,
+    predicted_ratings_map,
+    prepare_dataset,
+    run_algorithms,
+    standard_algorithms,
+)
+from repro.experiments.reporting import format_table
+from repro import io as repro_io
+
+__all__ = ["main", "build_parser"]
+
+_ALGORITHM_KEYS = ("gg", "gg-no", "slg", "rlg", "topre", "topra")
+
+_EXHIBITS = (
+    "table1", "table2", "figure1", "figure2", "figure3", "figure4",
+    "figure5", "figure6", "figure7", "random-prices", "theory",
+)
+
+
+def _make_algorithm(key: str, pipeline, seed: int) -> RevMaxAlgorithm:
+    """Instantiate one algorithm by its CLI key."""
+    key = key.lower()
+    if key == "gg":
+        return GlobalGreedy()
+    if key == "gg-no":
+        return GlobalGreedyNoSaturation()
+    if key == "slg":
+        return SequentialLocalGreedy()
+    if key == "rlg":
+        return RandomizedLocalGreedy(num_permutations=8, seed=seed)
+    if key == "topre":
+        return TopRevenueBaseline()
+    if key == "topra":
+        return TopRatingBaseline(predicted_ratings_map(pipeline))
+    raise ValueError(f"unknown algorithm {key!r}; expected one of {_ALGORITHM_KEYS}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="REVMAX reproduction: revenue-maximizing dynamic recommendations",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve = subparsers.add_parser("solve", help="run one algorithm on one dataset")
+    solve.add_argument("--dataset", choices=("amazon", "epinions"), default="amazon")
+    solve.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    solve.add_argument("--algorithm", choices=_ALGORITHM_KEYS, default="gg")
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--save-result", metavar="PATH", default=None,
+                       help="write the result (summary + plan) as JSON")
+    solve.add_argument("--save-instance", metavar="PATH", default=None,
+                       help="write the solved instance as JSON")
+
+    compare = subparsers.add_parser(
+        "compare", help="run the paper's six-algorithm suite on one dataset"
+    )
+    compare.add_argument("--dataset", choices=("amazon", "epinions"), default="amazon")
+    compare.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--permutations", type=int, default=8,
+                         help="number of RL-Greedy permutations")
+
+    exhibit = subparsers.add_parser(
+        "exhibit", help="regenerate one table/figure of the paper's evaluation"
+    )
+    exhibit.add_argument("name", choices=_EXHIBITS)
+    exhibit.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    exhibit.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _command_solve(args: argparse.Namespace) -> int:
+    pipeline = prepare_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    algorithm = _make_algorithm(args.algorithm, pipeline, args.seed)
+    result = algorithm.run(pipeline.instance)
+    print(result.summary())
+    if args.save_instance:
+        repro_io.save_instance(pipeline.instance, args.save_instance)
+        print(f"instance written to {args.save_instance}")
+    if args.save_result:
+        repro_io.save_result(result, args.save_result)
+        print(f"result written to {args.save_result}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    pipeline = prepare_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    suite = standard_algorithms(
+        predicted_ratings=predicted_ratings_map(pipeline),
+        rl_permutations=args.permutations,
+        seed=args.seed,
+    )
+    results = run_algorithms(pipeline.instance, suite)
+    rows = [
+        [name, result.revenue, result.strategy_size, result.runtime_seconds]
+        for name, result in sorted(results.items(), key=lambda item: -item[1].revenue)
+    ]
+    print(format_table(["algorithm", "expected revenue", "plan size", "seconds"], rows))
+    return 0
+
+
+def _command_exhibit(args: argparse.Namespace) -> int:
+    name = args.name
+    if name in ("figure6", "random-prices", "theory"):
+        if name == "figure6":
+            result = figures.figure6_scalability(
+                user_counts=(200, 400, 800),
+                base_config=SyntheticConfig(num_items=100, num_classes=20,
+                                            candidates_per_user=10, seed=args.seed),
+            )
+        elif name == "random-prices":
+            result = figures.extension_random_prices(seed=args.seed)
+        else:
+            result = figures.theory_small_instances(seed=args.seed)
+        print(result)
+        return 0
+
+    pipelines = {
+        "amazon": prepare_dataset("amazon", scale=args.scale, seed=args.seed),
+        "epinions": prepare_dataset("epinions", scale=args.scale, seed=args.seed),
+    }
+    if name == "table1":
+        result = figures.table1_dataset_statistics(pipelines)
+    elif name == "table2":
+        result = figures.table2_running_times(pipelines)
+    elif name == "figure1":
+        result = figures.figure1_revenue_by_capacity_distribution(pipelines)
+    elif name == "figure2":
+        result = figures.figure2_revenue_by_saturation(pipelines)
+    elif name == "figure3":
+        result = figures.figure3_revenue_by_saturation_singleton(pipelines)
+    elif name == "figure4":
+        result = figures.figure4_revenue_growth_curves(pipelines["amazon"])
+    elif name == "figure5":
+        result = figures.figure5_repeat_histograms(pipelines["amazon"])
+    elif name == "figure7":
+        result = figures.figure7_incomplete_prices(pipelines)
+    else:  # pragma: no cover - choices exhausted above
+        raise ValueError(f"unknown exhibit {name!r}")
+    print(result)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "solve":
+        return _command_solve(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    if args.command == "exhibit":
+        return _command_exhibit(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

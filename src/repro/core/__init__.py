@@ -1,0 +1,39 @@
+"""Core REVMAX model: entities, instances, strategies, revenue semantics.
+
+This package implements the paper's primary contribution -- the dynamic
+revenue model (Definitions 1-4) and its random-price extension (§7) -- on top
+of which every algorithm in :mod:`repro.algorithms` is built.
+"""
+
+from repro.core.entities import ItemCatalog, ItemMeta, Triple, UserMeta
+from repro.core.problem import AdoptionTable, RevMaxInstance
+from repro.core.strategy import Strategy
+from repro.core.revenue import RevenueModel, group_dynamic_probability, memory_term
+from repro.core.constraints import (
+    CapacityConstraint,
+    ConstraintChecker,
+    ConstraintViolation,
+    DisplayConstraint,
+)
+from repro.core.effective import EffectiveRevenueModel
+from repro.core.random_prices import PriceDistribution, TaylorRevenueModel
+
+__all__ = [
+    "AdoptionTable",
+    "CapacityConstraint",
+    "ConstraintChecker",
+    "ConstraintViolation",
+    "DisplayConstraint",
+    "EffectiveRevenueModel",
+    "ItemCatalog",
+    "ItemMeta",
+    "PriceDistribution",
+    "RevMaxInstance",
+    "RevenueModel",
+    "Strategy",
+    "TaylorRevenueModel",
+    "Triple",
+    "UserMeta",
+    "group_dynamic_probability",
+    "memory_term",
+]

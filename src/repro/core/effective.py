@@ -1,0 +1,115 @@
+"""The relaxed R-REVMAX objective (Definition 4 of the paper).
+
+R-REVMAX drops the hard per-item capacity constraint and instead multiplies
+every triple's dynamic adoption probability by the *capacity factor*
+
+``B_S(i, t) = Pr[at most q_i - 1 of the users item i was recommended to
+(other than the target user) up to time t adopt it]``,
+
+yielding the *effective dynamic adoption probability* ``E_S(u, i, t)``.  The
+resulting objective is still non-negative, non-monotone and submodular, and
+the only remaining hard constraint (the display limit) is a partition matroid
+-- which is what enables the 1/(4+eps) local-search approximation of §4.2.
+
+The capacity factor couples different users of the same item, so the revenue
+no longer decomposes over (user, class) groups; :class:`EffectiveRevenueModel`
+therefore overrides the whole-strategy evaluation rather than the group-level
+one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.entities import Triple
+from repro.core.problem import RevMaxInstance
+from repro.core.revenue import RevenueModel, group_dynamic_probability
+from repro.core.strategy import Strategy
+from repro.simulation.capacity_oracle import PoissonBinomialCapacityOracle
+
+__all__ = ["EffectiveRevenueModel"]
+
+
+class EffectiveRevenueModel(RevenueModel):
+    """Revenue evaluator using the effective adoption probability of R-REVMAX.
+
+    Args:
+        instance: the underlying REVMAX instance (its capacities become soft).
+        capacity_oracle: object with an ``at_most(probabilities, threshold)``
+            method estimating ``Pr[at most threshold adopters]``.  Defaults to
+            the exact Poisson-binomial oracle.
+    """
+
+    def __init__(self, instance: RevMaxInstance, capacity_oracle=None) -> None:
+        super().__init__(instance)
+        self._oracle = capacity_oracle or PoissonBinomialCapacityOracle()
+
+    # ------------------------------------------------------------------
+    # effective probability
+    # ------------------------------------------------------------------
+    def capacity_factor(self, strategy: Strategy, triple: Triple) -> float:
+        """Return ``B_S(i, t)`` for the given triple.
+
+        The competing recommendations ``S_{i,t}`` are all strategy triples of
+        the same item targeting *other* users at a time no later than ``t``.
+        The probability that a competing user adopts the item by time ``t`` is
+        the sum of the dynamic adoption probabilities of that user's triples
+        of the item up to ``t`` (the adoption events at different times are
+        mutually exclusive under Definition 1).
+        """
+        triple = Triple(*triple)
+        instance = self.instance
+        item = triple.item
+        capacity = instance.capacity(item)
+        # Probability that each competing user adopts `item` no later than t.
+        per_user_probability: Dict[int, float] = {}
+        for other in strategy:
+            if other.item != item or other.user == triple.user or other.t > triple.t:
+                continue
+            group = strategy.group_of_triple(other)
+            probability = group_dynamic_probability(instance, group, other)
+            per_user_probability[other.user] = (
+                per_user_probability.get(other.user, 0.0) + probability
+            )
+        competitors = [min(1.0, p) for p in per_user_probability.values()]
+        if len(competitors) < capacity:
+            return 1.0
+        return self._oracle.at_most(competitors, capacity - 1)
+
+    def effective_probability(self, strategy: Strategy, triple: Triple) -> float:
+        """Return ``E_S(u, i, t)`` (Definition 4); zero if the triple is absent."""
+        triple = Triple(*triple)
+        if triple not in strategy:
+            return 0.0
+        group = strategy.group_of_triple(triple)
+        dynamic = group_dynamic_probability(self.instance, group, triple)
+        if dynamic <= 0.0:
+            return 0.0
+        return dynamic * self.capacity_factor(strategy, triple)
+
+    # ------------------------------------------------------------------
+    # strategy-level quantities (override RevenueModel)
+    # ------------------------------------------------------------------
+    def revenue(self, strategy: Strategy) -> float:
+        """Expected total revenue under the effective probabilities."""
+        total = 0.0
+        for triple in strategy:
+            probability = self.effective_probability(strategy, triple)
+            total += self.instance.price(triple.item, triple.t) * probability
+        return total
+
+    def marginal_revenue(self, strategy: Strategy, triple: Triple) -> float:
+        """Return ``Rev(S + z) - Rev(S)`` under the effective probabilities.
+
+        Unlike the exact-capacity model, adding a triple can affect triples of
+        *other* users (through the capacity factor of the shared item), so the
+        difference is evaluated on the whole strategy.
+        """
+        triple = Triple(*triple)
+        if triple in strategy:
+            return 0.0
+        before = self.revenue(strategy)
+        extended = strategy.copy()
+        extended.add(triple)
+        after = self.revenue(extended)
+        return after - before

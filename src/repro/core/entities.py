@@ -1,0 +1,129 @@
+"""Basic entities of the REVMAX model.
+
+The paper works with three kinds of objects:
+
+* *users* and *items*, identified here by dense integer ids ``0..n-1``;
+* *item classes* grouping items that compete with one another (smartphones,
+  tablets, ...); items in the same class are mutually exclusive within the
+  horizon;
+* *recommendation triples* ``(user, item, time)`` -- the atoms a strategy is
+  built from.  A strategy is a set of triples.
+
+Only light-weight containers live in this module; all behaviour (revenue,
+constraints, algorithms) is layered on top of them elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence
+
+__all__ = ["Triple", "ItemMeta", "UserMeta", "ItemCatalog"]
+
+
+class Triple(NamedTuple):
+    """A single recommendation: item ``item`` shown to ``user`` at time ``t``.
+
+    Time steps are 0-based internally (``0 .. T-1``); the paper uses 1-based
+    ``[T] = {1, .., T}``.  All public APIs of this package use 0-based times.
+    """
+
+    user: int
+    item: int
+    t: int
+
+    def __str__(self) -> str:
+        return f"(u{self.user}, i{self.item}, t{self.t})"
+
+
+@dataclass(frozen=True)
+class ItemMeta:
+    """Descriptive metadata for an item.
+
+    Attributes:
+        item_id: dense integer id of the item.
+        name: optional human-readable label.
+        item_class: integer id of the competition class the item belongs to.
+        base_price: reference (undiscounted) price used by dataset generators.
+    """
+
+    item_id: int
+    item_class: int
+    name: str = ""
+    base_price: float = 0.0
+
+
+@dataclass(frozen=True)
+class UserMeta:
+    """Descriptive metadata for a user."""
+
+    user_id: int
+    name: str = ""
+
+
+@dataclass
+class ItemCatalog:
+    """A catalog mapping items to competition classes.
+
+    The catalog is the authoritative source of the ``C(i)`` function used in
+    Definition 1 of the paper.  It also supports the "singleton classes"
+    experimental setting (class size = 1) by :meth:`singleton`.
+
+    Attributes:
+        item_class: ``item_class[i]`` is the class id of item ``i``.
+    """
+
+    item_class: List[int]
+    class_names: Dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if any(c < 0 for c in self.item_class):
+            raise ValueError("class ids must be non-negative")
+
+    @property
+    def num_items(self) -> int:
+        """Number of items in the catalog."""
+        return len(self.item_class)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct classes."""
+        return len(set(self.item_class))
+
+    def class_of(self, item: int) -> int:
+        """Return ``C(item)``, the competition class of ``item``."""
+        return self.item_class[item]
+
+    def members(self, class_id: int) -> List[int]:
+        """Return all items belonging to ``class_id``."""
+        return [i for i, c in enumerate(self.item_class) if c == class_id]
+
+    def class_sizes(self) -> Dict[int, int]:
+        """Return a mapping ``class_id -> number of member items``."""
+        sizes: Dict[int, int] = {}
+        for c in self.item_class:
+            sizes[c] = sizes.get(c, 0) + 1
+        return sizes
+
+    def same_class(self, item_a: int, item_b: int) -> bool:
+        """Return True if the two items compete (belong to the same class)."""
+        return self.item_class[item_a] == self.item_class[item_b]
+
+    @classmethod
+    def singleton(cls, num_items: int) -> "ItemCatalog":
+        """Build a catalog where every item is its own class.
+
+        This is the "class size = 1" setting of Figures 1(c,d) and 3.
+        """
+        return cls(item_class=list(range(num_items)))
+
+    @classmethod
+    def from_assignment(cls, assignment: Sequence[int],
+                        class_names: Optional[Dict[int, str]] = None) -> "ItemCatalog":
+        """Build a catalog from an explicit item -> class assignment."""
+        return cls(item_class=list(assignment), class_names=dict(class_names or {}))
+
+
+def as_triples(raw: Iterable) -> List[Triple]:
+    """Coerce an iterable of 3-sequences into :class:`Triple` objects."""
+    return [Triple(int(u), int(i), int(t)) for (u, i, t) in raw]

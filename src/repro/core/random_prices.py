@@ -1,0 +1,283 @@
+"""Random-price extension of the revenue model (§7 of the paper).
+
+When exact future prices are unknown, the paper models ``p(i, t)`` as random
+variables and approximates the expected revenue of a strategy by a
+second-order Taylor expansion of the revenue around the mean price vector:
+
+``E[g(z)] ~= g(z_bar) + 1/2 * sum_ab  d^2 g / dz_a dz_b (z_bar) * Cov(z_a, z_b)``
+
+(the first-order term vanishes because ``E[z - z_bar] = 0``).  The revenue of
+the whole strategy is the sum of the per-triple contributions; equivalently we
+can expand the *total* revenue ``Rev(S; p)`` as a function of every price that
+appears in the strategy -- which is what this module does, using central
+finite differences for the Hessian entries.
+
+Three estimators are provided for comparison (the §7 benchmark):
+
+* :meth:`TaylorRevenueModel.expected_price_revenue` -- the naive heuristic
+  that plugs in mean prices (zeroth order);
+* :meth:`TaylorRevenueModel.taylor_revenue` -- the second-order correction;
+* :meth:`TaylorRevenueModel.monte_carlo_revenue` -- a sampling ground truth.
+
+Adoption probabilities themselves depend on prices (through user valuations),
+so the model is parameterised by an ``adoption_given_price`` callable instead
+of a fixed adoption table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.entities import ItemCatalog, Triple
+from repro.core.problem import AdoptionTable, RevMaxInstance
+from repro.core.revenue import RevenueModel
+from repro.core.strategy import Strategy
+
+__all__ = ["PriceDistribution", "TaylorRevenueModel"]
+
+AdoptionGivenPrice = Callable[[int, int, int, float], float]
+"""Signature: ``adoption_given_price(user, item, t, price) -> probability``."""
+
+
+class PriceDistribution:
+    """Mean / covariance description of the random price matrix.
+
+    Prices of different items are assumed independent; prices of the same item
+    at different time steps may be correlated through a per-item ``T x T``
+    covariance matrix (the diagonal holds the per-time variances).
+
+    Args:
+        means: array of shape ``(num_items, T)`` of price means.
+        variances: array of the same shape with per-price variances; ignored
+            for items that have an entry in ``item_covariances``.
+        item_covariances: optional mapping ``item -> (T, T)`` covariance
+            matrix for items whose prices are correlated over time.
+    """
+
+    def __init__(
+        self,
+        means: np.ndarray,
+        variances: np.ndarray,
+        item_covariances: Optional[Dict[int, np.ndarray]] = None,
+    ) -> None:
+        self.means = np.asarray(means, dtype=float)
+        self.variances = np.asarray(variances, dtype=float)
+        if self.means.shape != self.variances.shape:
+            raise ValueError("means and variances must have the same shape")
+        if np.any(self.variances < 0.0):
+            raise ValueError("variances must be non-negative")
+        self.item_covariances: Dict[int, np.ndarray] = {}
+        for item, matrix in (item_covariances or {}).items():
+            matrix = np.asarray(matrix, dtype=float)
+            horizon = self.means.shape[1]
+            if matrix.shape != (horizon, horizon):
+                raise ValueError("item covariance matrices must be (T, T)")
+            self.item_covariances[int(item)] = matrix
+
+    @property
+    def num_items(self) -> int:
+        """Number of items covered by the distribution."""
+        return self.means.shape[0]
+
+    @property
+    def horizon(self) -> int:
+        """Number of time steps covered by the distribution."""
+        return self.means.shape[1]
+
+    def covariance(self, item_a: int, t_a: int, item_b: int, t_b: int) -> float:
+        """Return ``Cov(p(item_a, t_a), p(item_b, t_b))``."""
+        if item_a != item_b:
+            return 0.0
+        matrix = self.item_covariances.get(item_a)
+        if matrix is not None:
+            return float(matrix[t_a, t_b])
+        if t_a != t_b:
+            return 0.0
+        return float(self.variances[item_a, t_a])
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one Gaussian realisation of the full price matrix.
+
+        Negative draws are clipped at zero (prices are non-negative).
+        """
+        sample = np.array(self.means, copy=True)
+        for item in range(self.num_items):
+            matrix = self.item_covariances.get(item)
+            if matrix is not None:
+                sample[item, :] = rng.multivariate_normal(self.means[item], matrix)
+            else:
+                std = np.sqrt(self.variances[item])
+                sample[item, :] = self.means[item] + rng.standard_normal(self.horizon) * std
+        return np.clip(sample, 0.0, None)
+
+
+class TaylorRevenueModel:
+    """Expected revenue estimators under random prices.
+
+    Args:
+        num_users: number of users.
+        catalog: item catalog (class function).
+        display_limit: the display constraint ``k``.
+        capacities: per-item capacities (scalar or array).
+        betas: per-item saturation factors (scalar or array).
+        price_distribution: mean / covariance of the random prices.
+        adoption_given_price: callable returning ``q(u, i, t)`` for a given
+            realised price.
+        candidate_pairs: the (user, item) pairs a recommender would consider;
+            only these receive adoption probabilities.
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        catalog: ItemCatalog,
+        display_limit: int,
+        capacities,
+        betas,
+        price_distribution: PriceDistribution,
+        adoption_given_price: AdoptionGivenPrice,
+        candidate_pairs: Iterable[Tuple[int, int]],
+    ) -> None:
+        self._num_users = num_users
+        self._catalog = catalog
+        self._display_limit = display_limit
+        self._capacities = capacities
+        self._betas = betas
+        self._distribution = price_distribution
+        self._adoption_given_price = adoption_given_price
+        self._candidate_pairs = [(int(u), int(i)) for (u, i) in candidate_pairs]
+
+    # ------------------------------------------------------------------
+    # instance construction for a realised price matrix
+    # ------------------------------------------------------------------
+    def instance_for_prices(self, prices: np.ndarray,
+                            name: str = "random-price-realisation") -> RevMaxInstance:
+        """Build the exact-price REVMAX instance induced by a price matrix."""
+        prices = np.asarray(prices, dtype=float)
+        horizon = self._distribution.horizon
+        table = AdoptionTable(horizon)
+        for user, item in self._candidate_pairs:
+            vector = [
+                self._adoption_given_price(user, item, t, float(prices[item, t]))
+                for t in range(horizon)
+            ]
+            table.set(user, item, np.clip(vector, 0.0, 1.0))
+        return RevMaxInstance(
+            num_users=self._num_users,
+            catalog=self._catalog,
+            horizon=horizon,
+            display_limit=self._display_limit,
+            prices=prices,
+            capacities=(
+                self._capacities
+                if not np.isscalar(self._capacities)
+                else np.full(self._catalog.num_items, int(self._capacities))
+            ),
+            betas=(
+                self._betas
+                if not np.isscalar(self._betas)
+                else np.full(self._catalog.num_items, float(self._betas))
+            ),
+            adoption=table,
+            name=name,
+        )
+
+    def mean_price_instance(self) -> RevMaxInstance:
+        """Return the instance built from mean prices (used to *plan*)."""
+        return self.instance_for_prices(self._distribution.means, "mean-price-instance")
+
+    # ------------------------------------------------------------------
+    # revenue estimators
+    # ------------------------------------------------------------------
+    def revenue_at_prices(self, triples: Iterable[Triple], prices: np.ndarray) -> float:
+        """Exact expected revenue of the strategy for a realised price matrix."""
+        instance = self.instance_for_prices(prices)
+        model = RevenueModel(instance)
+        return model.revenue_of_triples(triples)
+
+    def expected_price_revenue(self, triples: Iterable[Triple]) -> float:
+        """Zeroth-order estimate: plug in the mean price matrix."""
+        return self.revenue_at_prices(triples, self._distribution.means)
+
+    def taylor_revenue(self, triples: Iterable[Triple],
+                       step_scale: float = 1e-3) -> float:
+        """Second-order Taylor estimate of the expected revenue (Equation 8).
+
+        The Hessian of ``Rev(S; p)`` with respect to the prices appearing in
+        the strategy is computed by central finite differences around the mean
+        price matrix; only price pairs with non-zero covariance contribute.
+
+        Args:
+            triples: the strategy whose expected revenue is estimated.
+            step_scale: relative finite-difference step (``h = step_scale *
+                max(1, |mean price|)``).
+        """
+        triples = [Triple(*z) for z in triples]
+        means = self._distribution.means
+        base = self.revenue_at_prices(triples, means)
+        # Prices the revenue actually depends on: the (item, t) pairs of the
+        # strategy's triples.
+        price_keys = sorted({(z.item, z.t) for z in triples})
+        correction = 0.0
+        for a_index, (item_a, t_a) in enumerate(price_keys):
+            for item_b, t_b in price_keys[a_index:]:
+                covariance = self._distribution.covariance(item_a, t_a, item_b, t_b)
+                if covariance == 0.0:
+                    continue
+                second = self._second_partial(
+                    triples, means, (item_a, t_a), (item_b, t_b), step_scale
+                )
+                if (item_a, t_a) == (item_b, t_b):
+                    correction += 0.5 * second * covariance
+                else:
+                    correction += second * covariance
+        return base + correction
+
+    def monte_carlo_revenue(self, triples: Iterable[Triple], num_samples: int = 200,
+                            seed: Optional[int] = 0) -> float:
+        """Sampling estimate of the expected revenue over random prices."""
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        triples = [Triple(*z) for z in triples]
+        rng = np.random.default_rng(seed)
+        total = 0.0
+        for _ in range(num_samples):
+            prices = self._distribution.sample(rng)
+            total += self.revenue_at_prices(triples, prices)
+        return total / num_samples
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+    def _second_partial(
+        self,
+        triples: Sequence[Triple],
+        means: np.ndarray,
+        key_a: Tuple[int, int],
+        key_b: Tuple[int, int],
+        step_scale: float,
+    ) -> float:
+        """Central finite-difference second partial of the revenue."""
+        step_a = step_scale * max(1.0, abs(float(means[key_a])))
+        step_b = step_scale * max(1.0, abs(float(means[key_b])))
+
+        def revenue_with(offsets: Dict[Tuple[int, int], float]) -> float:
+            prices = np.array(means, copy=True)
+            for key, offset in offsets.items():
+                prices[key] = max(0.0, prices[key] + offset)
+            return self.revenue_at_prices(triples, prices)
+
+        if key_a == key_b:
+            plus = revenue_with({key_a: step_a})
+            minus = revenue_with({key_a: -step_a})
+            center = revenue_with({})
+            return (plus - 2.0 * center + minus) / (step_a ** 2)
+        plus_plus = revenue_with({key_a: step_a, key_b: step_b})
+        plus_minus = revenue_with({key_a: step_a, key_b: -step_b})
+        minus_plus = revenue_with({key_a: -step_a, key_b: step_b})
+        minus_minus = revenue_with({key_a: -step_a, key_b: -step_b})
+        return (plus_plus - plus_minus - minus_plus + minus_minus) / (
+            4.0 * step_a * step_b
+        )

@@ -1,0 +1,195 @@
+"""The dynamic revenue model of the paper (Definitions 1-3).
+
+This module implements, for the *exact price* model:
+
+* the memory term ``M_S(u, i, t)`` (Equation 1),
+* the dynamic adoption probability ``q_S(u, i, t)`` (Definition 1),
+* the expected revenue ``Rev(S)`` of a strategy (Definition 2),
+* the marginal revenue ``Rev_S(z) = Rev(S + z) - Rev(S)`` of adding a triple
+  (Definition 3).
+
+Because saturation and competition only couple triples that share the same
+*user* and the same *item class*, every quantity decomposes over
+(user, class) groups.  All functions below therefore work on a single group
+at a time; :class:`RevenueModel` stitches the groups together and is the
+object every algorithm talks to.
+
+Times are 0-based (``0 .. T-1``).  Memory at a time step only counts strictly
+earlier recommendations, which reproduces the paper's convention that
+``X_S(u, i, 1) = 0`` at the first step.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.entities import Triple
+from repro.core.problem import RevMaxInstance
+from repro.core.strategy import Strategy
+
+__all__ = [
+    "memory_term",
+    "group_dynamic_probability",
+    "group_revenue",
+    "RevenueModel",
+]
+
+
+def memory_term(group: Sequence[Triple], t: int) -> float:
+    """Compute ``M_S(u, i, t)`` for a (user, class) group (Equation 1).
+
+    Args:
+        group: the triples of the same user and item class that are in the
+            strategy (the target triple itself may or may not be included --
+            it never contributes because only strictly earlier times count).
+        t: the time step of the target triple.
+
+    Returns:
+        The memory ``sum over (u, j, tau) in group, tau < t of 1 / (t - tau)``.
+    """
+    total = 0.0
+    for other in group:
+        if other.t < t:
+            total += 1.0 / (t - other.t)
+    return total
+
+
+def group_dynamic_probability(
+    instance: RevMaxInstance,
+    group: Sequence[Triple],
+    target: Triple,
+) -> float:
+    """Compute ``q_S(u, i, t)`` for ``target`` given its (user, class) group.
+
+    ``group`` must contain every strategy triple sharing the target's user and
+    item class, *including the target itself* (Definition 1 sets the dynamic
+    probability of absent triples to zero; callers that want that behaviour
+    should check membership before calling).
+
+    The formula (Definition 1) multiplies the primitive probability by
+
+    * the saturation discount ``beta_i ** M_S(u, i, t)``,
+    * ``(1 - q(u, j, t))`` for every *other* same-class item recommended at
+      the same time, and
+    * ``(1 - q(u, j, tau))`` for every same-class recommendation made at an
+      earlier time (including earlier recommendations of the target item).
+    """
+    user, item, t = target
+    primitive = instance.probability(user, item, t)
+    if primitive <= 0.0:
+        return 0.0
+    beta = instance.beta(item)
+    memory = memory_term(group, t)
+    saturation = beta ** memory if memory > 0.0 else 1.0
+    survival = 1.0
+    for other in group:
+        if other == target:
+            continue
+        if other.t < t or (other.t == t and other.item != item):
+            survival *= 1.0 - instance.probability(other.user, other.item, other.t)
+    return primitive * saturation * survival
+
+
+def group_revenue(instance: RevMaxInstance, group: Sequence[Triple]) -> float:
+    """Expected revenue contributed by one (user, class) group of triples."""
+    total = 0.0
+    for triple in group:
+        probability = group_dynamic_probability(instance, group, triple)
+        total += instance.price(triple.item, triple.t) * probability
+    return total
+
+
+class RevenueModel:
+    """Evaluator of ``Rev(S)`` and marginal revenues for a fixed instance.
+
+    All REVMAX algorithms in :mod:`repro.algorithms` are written against this
+    class, so alternative revenue semantics (the R-REVMAX effective
+    probability of Definition 4, or the random-price Taylor approximation of
+    §7) can be swapped in by subclassing and overriding
+    :meth:`group_revenue`.
+    """
+
+    def __init__(self, instance: RevMaxInstance) -> None:
+        self._instance = instance
+        self._evaluations = 0
+
+    @property
+    def instance(self) -> RevMaxInstance:
+        """The REVMAX instance being evaluated."""
+        return self._instance
+
+    @property
+    def evaluations(self) -> int:
+        """Number of group-revenue evaluations performed (profiling aid)."""
+        return self._evaluations
+
+    def reset_counters(self) -> None:
+        """Reset the evaluation counter."""
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------
+    # group-level primitives (override points)
+    # ------------------------------------------------------------------
+    def group_revenue(self, group: Sequence[Triple]) -> float:
+        """Expected revenue of one (user, class) group."""
+        self._evaluations += 1
+        return group_revenue(self._instance, group)
+
+    # ------------------------------------------------------------------
+    # strategy-level quantities
+    # ------------------------------------------------------------------
+    def dynamic_probability(self, strategy: Strategy, triple: Triple) -> float:
+        """Return ``q_S(u, i, t)`` (zero if the triple is not in the strategy)."""
+        triple = Triple(*triple)
+        if triple not in strategy:
+            return 0.0
+        group = strategy.group_of_triple(triple)
+        return group_dynamic_probability(self._instance, group, triple)
+
+    def revenue(self, strategy: Strategy) -> float:
+        """Return ``Rev(S)`` (Definition 2)."""
+        total = 0.0
+        for _, group in strategy.groups():
+            total += self.group_revenue(group)
+        return total
+
+    def revenue_of_triples(self, triples: Iterable[Triple]) -> float:
+        """Return ``Rev(S)`` for a plain iterable of triples."""
+        strategy = Strategy(self._instance.catalog, triples)
+        return self.revenue(strategy)
+
+    def marginal_revenue(self, strategy: Strategy, triple: Triple) -> float:
+        """Return ``Rev_S(z) = Rev(S + z) - Rev(S)`` (Definition 3).
+
+        Only the (user, class) group of ``z`` changes when ``z`` is added, so
+        the difference is evaluated locally on that group.
+        """
+        triple = Triple(*triple)
+        if triple in strategy:
+            return 0.0
+        group = strategy.group_of_triple(triple)
+        before = self.group_revenue(group) if group else 0.0
+        after = self.group_revenue(group + [triple])
+        return after - before
+
+    def marginal_revenue_components(
+        self, strategy: Strategy, triple: Triple
+    ) -> Tuple[float, float]:
+        """Return the (gain, loss) decomposition of Definition 3.
+
+        The *gain* is ``p(i, t) * q_{S+z}(z)``; the *loss* is the (non-positive)
+        total change in revenue of the same-class triples scheduled later than
+        ``z`` for the same user.  ``gain + loss == marginal_revenue``.
+        """
+        triple = Triple(*triple)
+        group = strategy.group_of_triple(triple)
+        extended = group + [triple]
+        gain = self._instance.price(triple.item, triple.t) * group_dynamic_probability(
+            self._instance, extended, triple
+        )
+        loss = 0.0
+        for other in group:
+            before = group_dynamic_probability(self._instance, group, other)
+            after = group_dynamic_probability(self._instance, extended, other)
+            loss += self._instance.price(other.item, other.t) * (after - before)
+        return gain, loss

@@ -1,0 +1,42 @@
+"""Dataset simulators, preprocessing pipeline and statistics (§6.1)."""
+
+from repro.datasets.schema import MarketDataset
+from repro.datasets.amazon_like import AmazonLikeConfig, generate_amazon_like
+from repro.datasets.epinions_like import EpinionsLikeConfig, generate_epinions_like
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_instance
+from repro.datasets.capacities import (
+    CAPACITY_DISTRIBUTIONS,
+    sample_betas,
+    sample_capacities,
+)
+from repro.datasets.pipeline import (
+    PipelineConfig,
+    PipelineResult,
+    build_instance,
+    run_pipeline,
+)
+from repro.datasets.statistics import (
+    DatasetStatistics,
+    dataset_statistics,
+    format_table1,
+)
+
+__all__ = [
+    "AmazonLikeConfig",
+    "CAPACITY_DISTRIBUTIONS",
+    "DatasetStatistics",
+    "EpinionsLikeConfig",
+    "MarketDataset",
+    "PipelineConfig",
+    "PipelineResult",
+    "SyntheticConfig",
+    "build_instance",
+    "dataset_statistics",
+    "format_table1",
+    "generate_amazon_like",
+    "generate_epinions_like",
+    "generate_synthetic_instance",
+    "run_pipeline",
+    "sample_betas",
+    "sample_capacities",
+]

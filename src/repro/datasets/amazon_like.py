@@ -1,0 +1,154 @@
+"""Amazon-Electronics-like dataset simulator.
+
+The paper crawled prices and ratings of ~5000 popular Electronics items
+(Kindle, Xbox, accessories, ...) over two months and kept items with at least
+10 ratings, giving 23.0K users, 4.2K items, 681K ratings and 94 item classes
+with a heavily skewed class-size distribution (largest 1081, median 12).  The
+real crawl is unavailable, so this module generates a dataset with the same
+*shape*:
+
+* far more users than items, with long-tail rating counts per item;
+* a modest number of item classes with a skewed (power-law-like) size
+  distribution;
+* ratings produced by a latent-factor ground truth (so matrix factorization
+  has signal to recover);
+* a daily exact price series per item with small fluctuations and occasional
+  sales, as the paper observed on Amazon.
+
+All sizes are parameters; the defaults are a laptop-scale reduction of the
+paper's dataset (see DESIGN.md §6, "Scale-down policy").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.entities import ItemCatalog
+from repro.datasets.schema import MarketDataset
+from repro.pricing.price_series import generate_price_matrix
+from repro.recsys.ratings import RatingsMatrix
+
+__all__ = ["AmazonLikeConfig", "generate_amazon_like"]
+
+_ELECTRONICS_CLASSES = (
+    "e-reader", "tablet", "smartphone", "laptop", "headphones", "speaker",
+    "game-console", "video-game", "camera", "tv", "router", "smartwatch",
+    "keyboard", "mouse", "monitor", "charger", "cable", "case",
+)
+
+
+@dataclass
+class AmazonLikeConfig:
+    """Knobs of the Amazon-like generator.
+
+    Attributes:
+        num_users: number of users (paper: 23.0K).
+        num_items: number of items (paper: 4.2K).
+        num_classes: number of item classes (paper: 94).
+        horizon: planning horizon in days (paper: 7).
+        ratings_per_user_mean: average number of ratings per user.
+        latent_dim: dimensionality of the ground-truth latent factors.
+        rating_noise: standard deviation of rating noise.
+        price_min / price_max: base price range across classes.
+        min_ratings_per_item: items below this are filtered out, as in §6.1.
+        seed: master random seed.
+    """
+
+    num_users: int = 400
+    num_items: int = 120
+    num_classes: int = 12
+    horizon: int = 7
+    ratings_per_user_mean: float = 25.0
+    latent_dim: int = 6
+    rating_noise: float = 0.4
+    price_min: float = 15.0
+    price_max: float = 600.0
+    min_ratings_per_item: int = 3
+    seed: Optional[int] = 7
+
+
+def _skewed_class_assignment(num_items: int, num_classes: int,
+                             rng: np.random.Generator) -> List[int]:
+    """Assign items to classes with a skewed (Zipf-like) size distribution."""
+    weights = 1.0 / np.arange(1, num_classes + 1) ** 1.1
+    weights /= weights.sum()
+    assignment = rng.choice(num_classes, size=num_items, p=weights)
+    # Guarantee every class has at least one item so class statistics are
+    # well-defined even at small scale.
+    for class_id in range(num_classes):
+        if class_id not in assignment:
+            assignment[rng.integers(0, num_items)] = class_id
+    return assignment.tolist()
+
+
+def generate_amazon_like(config: Optional[AmazonLikeConfig] = None) -> MarketDataset:
+    """Generate an Amazon-like :class:`~repro.datasets.schema.MarketDataset`."""
+    config = config or AmazonLikeConfig()
+    rng = np.random.default_rng(config.seed)
+
+    class_assignment = _skewed_class_assignment(
+        config.num_items, config.num_classes, rng
+    )
+    class_names = {
+        class_id: _ELECTRONICS_CLASSES[class_id % len(_ELECTRONICS_CLASSES)]
+        for class_id in range(config.num_classes)
+    }
+    catalog = ItemCatalog.from_assignment(class_assignment, class_names)
+
+    # Base prices: items of the same class share a price regime (tablets are
+    # pricier than cables) with per-item variation.
+    class_price_levels = rng.uniform(
+        config.price_min, config.price_max, size=config.num_classes
+    )
+    base_prices = np.array([
+        max(config.price_min * 0.5,
+            class_price_levels[class_assignment[item]] * rng.uniform(0.7, 1.3))
+        for item in range(config.num_items)
+    ])
+
+    # Ground-truth latent factors drive both ratings and item popularity.
+    user_factors = rng.normal(0.0, 1.0, size=(config.num_users, config.latent_dim))
+    item_factors = rng.normal(0.0, 1.0, size=(config.num_items, config.latent_dim))
+    item_popularity = rng.pareto(1.5, size=config.num_items) + 0.5
+    item_popularity /= item_popularity.sum()
+
+    ratings = RatingsMatrix(config.num_users, config.num_items, rating_scale=(1.0, 5.0))
+    scale = 1.2 / np.sqrt(config.latent_dim)
+    for user in range(config.num_users):
+        count = max(1, int(rng.poisson(config.ratings_per_user_mean)))
+        count = min(count, config.num_items)
+        items = rng.choice(
+            config.num_items, size=count, replace=False, p=item_popularity
+        )
+        for item in items:
+            affinity = float(user_factors[user] @ item_factors[item]) * scale
+            value = 3.0 + affinity + rng.normal(0.0, config.rating_noise)
+            ratings.add(user, int(item), float(np.clip(np.round(value), 1.0, 5.0)))
+
+    filtered = ratings.filter_items_with_min_ratings(config.min_ratings_per_item)
+    if len(filtered) == 0:
+        # Degenerate configuration (tiny test sizes): fall back to unfiltered.
+        filtered = ratings
+
+    prices = generate_price_matrix(
+        base_prices, config.horizon, rng,
+        fluctuation=0.05, sale_probability=0.25, sale_depth=0.3,
+    )
+
+    item_names = {
+        item: f"{class_names[class_assignment[item]]}-{item}"
+        for item in range(config.num_items)
+    }
+    return MarketDataset(
+        name="amazon-like",
+        ratings=filtered,
+        catalog=catalog,
+        horizon=config.horizon,
+        prices=prices,
+        reported_prices=None,
+        item_names=item_names,
+        base_prices=base_prices,
+    )

@@ -1,0 +1,136 @@
+"""Epinions-like dataset simulator.
+
+The paper's Epinions dataset is ultra-sparse (21.3K users, 1.1K items, only
+32.9K ratings), has smaller and more even item classes than Amazon (43
+classes, largest 52, median 27), and crucially carries *reported prices*
+rather than a price time series: reviewers optionally state the price they
+paid, and §6.1 fits a Gaussian KDE per item to those reports to obtain both a
+sampled price series and a valuation distribution.
+
+This simulator reproduces those characteristics: sparse ratings over a small
+item set, balanced classes, and per-item reported-price lists drawn from a
+noisy distribution around a hidden true price (different sellers, different
+times, different bundles -- hence the spread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.entities import ItemCatalog
+from repro.datasets.schema import MarketDataset
+from repro.recsys.ratings import RatingsMatrix
+
+__all__ = ["EpinionsLikeConfig", "generate_epinions_like"]
+
+_EPINIONS_CLASSES = (
+    "kitchen", "vacuum", "stroller", "car-seat", "printer", "blender",
+    "luggage", "toaster", "coffee-maker", "microwave", "fan", "heater",
+)
+
+
+@dataclass
+class EpinionsLikeConfig:
+    """Knobs of the Epinions-like generator.
+
+    Attributes:
+        num_users: number of users (paper: 21.3K).
+        num_items: number of items (paper: 1.1K).
+        num_classes: number of item classes (paper: 43).
+        horizon: planning horizon (paper: 7, sampled from the KDE).
+        ratings_per_user_mean: average ratings per user (Epinions is sparse,
+            ~1.5 in the paper; slightly higher here so MF has signal at small
+            scale).
+        reports_per_item_mean: average number of reported prices per item
+            (items with fewer than 10 reports were filtered in the paper).
+        min_reports_per_item: items below this report count are dropped from
+            the reported-price map (their prices fall back to a constant).
+        price_min / price_max: range of hidden true prices.
+        price_report_noise: relative spread of reported prices around the true
+            price.
+        latent_dim / rating_noise: ground-truth rating model parameters.
+        seed: master random seed.
+    """
+
+    num_users: int = 350
+    num_items: int = 80
+    num_classes: int = 10
+    horizon: int = 7
+    ratings_per_user_mean: float = 8.0
+    reports_per_item_mean: float = 18.0
+    min_reports_per_item: int = 5
+    price_min: float = 10.0
+    price_max: float = 400.0
+    price_report_noise: float = 0.15
+    latent_dim: int = 5
+    rating_noise: float = 0.6
+    seed: Optional[int] = 11
+
+
+def _balanced_class_assignment(num_items: int, num_classes: int,
+                               rng: np.random.Generator) -> List[int]:
+    """Assign items to classes with roughly even sizes (Epinions style)."""
+    assignment = [item % num_classes for item in range(num_items)]
+    rng.shuffle(assignment)
+    return assignment
+
+
+def generate_epinions_like(config: Optional[EpinionsLikeConfig] = None) -> MarketDataset:
+    """Generate an Epinions-like :class:`~repro.datasets.schema.MarketDataset`."""
+    config = config or EpinionsLikeConfig()
+    rng = np.random.default_rng(config.seed)
+
+    class_assignment = _balanced_class_assignment(
+        config.num_items, config.num_classes, rng
+    )
+    class_names = {
+        class_id: _EPINIONS_CLASSES[class_id % len(_EPINIONS_CLASSES)]
+        for class_id in range(config.num_classes)
+    }
+    catalog = ItemCatalog.from_assignment(class_assignment, class_names)
+
+    true_prices = rng.uniform(config.price_min, config.price_max, size=config.num_items)
+
+    # Reported prices: each report is the true price perturbed by seller and
+    # condition effects; heavier noise than Amazon's daily fluctuations.
+    reported_prices: Dict[int, List[float]] = {}
+    for item in range(config.num_items):
+        count = max(2, int(rng.poisson(config.reports_per_item_mean)))
+        reports = true_prices[item] * (
+            1.0 + rng.normal(0.0, config.price_report_noise, size=count)
+        )
+        reports = np.clip(reports, 0.2 * true_prices[item], None)
+        if count >= config.min_reports_per_item:
+            reported_prices[item] = [float(r) for r in reports]
+
+    # Sparse ratings from a latent ground truth.
+    user_factors = rng.normal(0.0, 1.0, size=(config.num_users, config.latent_dim))
+    item_factors = rng.normal(0.0, 1.0, size=(config.num_items, config.latent_dim))
+    ratings = RatingsMatrix(config.num_users, config.num_items, rating_scale=(1.0, 5.0))
+    scale = 1.2 / np.sqrt(config.latent_dim)
+    for user in range(config.num_users):
+        count = max(1, int(rng.poisson(config.ratings_per_user_mean)))
+        count = min(count, config.num_items)
+        items = rng.choice(config.num_items, size=count, replace=False)
+        for item in items:
+            affinity = float(user_factors[user] @ item_factors[item]) * scale
+            value = 3.0 + affinity + rng.normal(0.0, config.rating_noise)
+            ratings.add(user, int(item), float(np.clip(np.round(value), 1.0, 5.0)))
+
+    item_names = {
+        item: f"{class_names[class_assignment[item]]}-{item}"
+        for item in range(config.num_items)
+    }
+    return MarketDataset(
+        name="epinions-like",
+        ratings=ratings,
+        catalog=catalog,
+        horizon=config.horizon,
+        prices=None,
+        reported_prices=reported_prices,
+        item_names=item_names,
+        base_prices=true_prices,
+    )

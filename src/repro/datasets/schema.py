@@ -1,0 +1,90 @@
+"""Dataset containers shared by the Amazon-like and Epinions-like simulators.
+
+A :class:`MarketDataset` bundles everything the §6 preprocessing pipeline
+needs before a REVMAX instance can be assembled:
+
+* a sparse ratings matrix (input to matrix factorization),
+* an item catalog with competition classes,
+* either an exact daily price matrix (Amazon style) or per-item lists of
+  reported prices (Epinions style), or both,
+* item display names for human-readable examples.
+
+The pipeline that turns a dataset into a :class:`~repro.core.problem.RevMaxInstance`
+lives in :mod:`repro.datasets.pipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.entities import ItemCatalog
+from repro.recsys.ratings import RatingsMatrix
+
+__all__ = ["MarketDataset"]
+
+
+@dataclass
+class MarketDataset:
+    """A simulated e-commerce dataset.
+
+    Attributes:
+        name: dataset label ("amazon-like", "epinions-like", ...).
+        ratings: observed user-item ratings.
+        catalog: item catalog with competition classes.
+        horizon: planning horizon ``T`` used when building instances.
+        prices: optional exact ``(num_items, horizon)`` price matrix.
+        reported_prices: optional per-item reported price lists (Epinions
+            style); used to fit KDE price/valuation distributions.
+        item_names: optional display names per item.
+        base_prices: reference per-item price points used by the generators.
+    """
+
+    name: str
+    ratings: RatingsMatrix
+    catalog: ItemCatalog
+    horizon: int
+    prices: Optional[np.ndarray] = None
+    reported_prices: Optional[Dict[int, List[float]]] = None
+    item_names: Dict[int, str] = field(default_factory=dict)
+    base_prices: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if self.catalog.num_items != self.ratings.num_items:
+            raise ValueError("catalog and ratings disagree on the number of items")
+        if self.prices is not None:
+            self.prices = np.asarray(self.prices, dtype=float)
+            expected = (self.catalog.num_items, self.horizon)
+            if self.prices.shape != expected:
+                raise ValueError(
+                    f"prices must have shape {expected}, got {self.prices.shape}"
+                )
+        if self.prices is None and self.reported_prices is None:
+            raise ValueError("a dataset needs either exact prices or reported prices")
+
+    @property
+    def num_users(self) -> int:
+        """Number of users."""
+        return self.ratings.num_users
+
+    @property
+    def num_items(self) -> int:
+        """Number of items."""
+        return self.ratings.num_items
+
+    @property
+    def num_ratings(self) -> int:
+        """Number of observed ratings."""
+        return len(self.ratings)
+
+    def has_exact_prices(self) -> bool:
+        """True if the dataset carries a ground-truth price time series."""
+        return self.prices is not None
+
+    def item_name(self, item: int) -> str:
+        """Display name of ``item`` (falls back to ``item-<id>``)."""
+        return self.item_names.get(item, f"item-{item}")

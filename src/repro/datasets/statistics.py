@@ -1,0 +1,96 @@
+"""Dataset statistics in the format of Table 1 of the paper.
+
+Table 1 reports, per dataset: #users, #items, #ratings, #triples with
+positive primitive adoption probability, #item classes, and the largest /
+smallest / median class sizes.  :func:`dataset_statistics` computes the same
+quantities for a reproduction dataset and its derived REVMAX instance, and
+:func:`format_table1` renders a text table comparable with the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.problem import RevMaxInstance
+from repro.datasets.schema import MarketDataset
+
+__all__ = ["DatasetStatistics", "dataset_statistics", "format_table1"]
+
+
+@dataclass
+class DatasetStatistics:
+    """The Table-1 row of one dataset.
+
+    Attributes:
+        name: dataset label.
+        num_users: number of users.
+        num_items: number of items.
+        num_ratings: number of observed ratings (``None`` for synthetic data,
+            which skips the rating step -- "N/A" in the paper).
+        num_positive_triples: candidate triples with positive primitive
+            adoption probability (the bold "true input size" of Table 1).
+        num_classes: number of item classes.
+        largest_class / smallest_class / median_class: class-size summary.
+    """
+
+    name: str
+    num_users: int
+    num_items: int
+    num_ratings: Optional[int]
+    num_positive_triples: int
+    num_classes: int
+    largest_class: int
+    smallest_class: int
+    median_class: float
+
+
+def dataset_statistics(instance: RevMaxInstance,
+                       dataset: Optional[MarketDataset] = None,
+                       name: Optional[str] = None) -> DatasetStatistics:
+    """Compute the Table-1 statistics of an instance (and its source dataset)."""
+    sizes = list(instance.catalog.class_sizes().values())
+    return DatasetStatistics(
+        name=name or (dataset.name if dataset is not None else instance.name),
+        num_users=instance.num_users,
+        num_items=instance.num_items,
+        num_ratings=(dataset.num_ratings if dataset is not None else None),
+        num_positive_triples=instance.num_candidate_triples(),
+        num_classes=instance.catalog.num_classes,
+        largest_class=int(max(sizes)),
+        smallest_class=int(min(sizes)),
+        median_class=float(np.median(sizes)),
+    )
+
+
+def format_table1(rows: Sequence[DatasetStatistics]) -> str:
+    """Render Table 1 ("Data Statistics") as aligned text."""
+    headers = [
+        "", *[row.name for row in rows],
+    ]
+    lines: List[List[str]] = [
+        ["#Users"] + [f"{row.num_users:,}" for row in rows],
+        ["#Items"] + [f"{row.num_items:,}" for row in rows],
+        ["#Ratings"] + [
+            f"{row.num_ratings:,}" if row.num_ratings is not None else "N/A"
+            for row in rows
+        ],
+        ["#Triples with positive q"] + [
+            f"{row.num_positive_triples:,}" for row in rows
+        ],
+        ["#Item classes"] + [f"{row.num_classes:,}" for row in rows],
+        ["Largest class size"] + [f"{row.largest_class:,}" for row in rows],
+        ["Smallest class size"] + [f"{row.smallest_class:,}" for row in rows],
+        ["Median class size"] + [f"{row.median_class:g}" for row in rows],
+    ]
+    table = [headers] + lines
+    widths = [
+        max(len(str(row[column])) for row in table)
+        for column in range(len(headers))
+    ]
+    rendered = []
+    for row in table:
+        rendered.append("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(rendered)

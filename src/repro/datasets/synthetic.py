@@ -1,0 +1,118 @@
+"""Synthetic scalability instances (§6.1, "Synthetic Data").
+
+The paper gauges scalability on synthetic instances with 100K-500K users,
+20K items in 500 classes, T = 5, and 100 candidate items per user (so the
+largest instance has 250M candidate triples, 2.5x Netflix).  The generation
+recipe is:
+
+* for each item, draw ``x_i`` uniformly from [10, 500] and set every price
+  ``p(i, t)`` uniformly from ``[x_i, 2 x_i]``;
+* for each user, pick 100 random candidate items; for each, draw ``T``
+  adoption probabilities from a Gaussian centred at a per-item level ``y_i``
+  (itself uniform in [0, 1]) with variance 0.1;
+* re-order the probabilities against the prices so that higher price pairs
+  with lower probability (anti-monotonicity).
+
+The generator below follows that recipe exactly and produces a ready-to-solve
+:class:`~repro.core.problem.RevMaxInstance` (no ratings / MF step is needed:
+the paper skips it for synthetic data too).  Sizes are parameters; paper-scale
+values are documented but the defaults are laptop-scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.entities import ItemCatalog
+from repro.core.problem import AdoptionTable, RevMaxInstance
+
+__all__ = ["SyntheticConfig", "generate_synthetic_instance"]
+
+
+@dataclass
+class SyntheticConfig:
+    """Knobs of the synthetic scalability generator.
+
+    Attributes:
+        num_users: number of users (paper: 100K-500K).
+        num_items: number of items (paper: 20K).
+        num_classes: number of item classes (paper: 500).
+        horizon: number of time steps (paper: 5).
+        candidates_per_user: candidate items per user (paper: 100).
+        display_limit: the display constraint ``k``.
+        capacity_fraction: per-item capacity as a fraction of the user count.
+        beta: saturation factor applied to every item.
+        price_low / price_high: range of the per-item base draw ``x_i``.
+        probability_std: std-dev of the per-triple probability draws.
+        seed: master random seed.
+    """
+
+    num_users: int = 2000
+    num_items: int = 400
+    num_classes: int = 50
+    horizon: int = 5
+    candidates_per_user: int = 20
+    display_limit: int = 2
+    capacity_fraction: float = 0.25
+    beta: float = 0.5
+    price_low: float = 10.0
+    price_high: float = 500.0
+    probability_std: float = 0.1
+    seed: Optional[int] = 13
+
+
+def generate_synthetic_instance(config: Optional[SyntheticConfig] = None
+                                ) -> RevMaxInstance:
+    """Generate a synthetic REVMAX instance per the paper's recipe."""
+    config = config or SyntheticConfig()
+    if config.candidates_per_user > config.num_items:
+        raise ValueError("candidates_per_user cannot exceed num_items")
+    rng = np.random.default_rng(config.seed)
+
+    item_class = rng.integers(0, config.num_classes, size=config.num_items)
+    catalog = ItemCatalog.from_assignment(item_class.tolist())
+
+    base = rng.uniform(config.price_low, config.price_high, size=config.num_items)
+    prices = rng.uniform(
+        base[:, None], 2.0 * base[:, None], size=(config.num_items, config.horizon)
+    )
+
+    item_level = rng.uniform(0.0, 1.0, size=config.num_items)
+
+    adoption = AdoptionTable(config.horizon)
+    for user in range(config.num_users):
+        items = rng.choice(
+            config.num_items, size=config.candidates_per_user, replace=False
+        )
+        for item in items:
+            draws = rng.normal(
+                item_level[item], config.probability_std, size=config.horizon
+            )
+            draws = np.clip(draws, 0.01, 1.0)
+            # Anti-monotone matching: the highest probability is paired with
+            # the lowest price of the item's series.
+            price_order = np.argsort(prices[item])          # cheapest first
+            probability_order = np.argsort(-draws)           # largest first
+            vector = np.empty(config.horizon)
+            vector[price_order] = draws[probability_order]
+            adoption.set(user, int(item), vector)
+
+    capacities = np.maximum(
+        1, int(round(config.capacity_fraction * config.num_users))
+    ) * np.ones(config.num_items, dtype=int)
+    betas = np.full(config.num_items, float(config.beta))
+
+    return RevMaxInstance(
+        num_users=config.num_users,
+        catalog=catalog,
+        horizon=config.horizon,
+        display_limit=config.display_limit,
+        prices=prices,
+        capacities=capacities,
+        betas=betas,
+        adoption=adoption,
+        name=f"synthetic-{config.num_users}u-{config.num_items}i",
+    )

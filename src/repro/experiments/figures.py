@@ -1,0 +1,599 @@
+"""Regeneration functions for every table and figure of the paper's evaluation.
+
+Each ``figure*`` / ``table*`` function reproduces the data behind one exhibit
+of §6 (and §7) on reproduction-scale instances:
+
+========================  =====================================================
+``table1_dataset_statistics``   Table 1 -- dataset statistics
+``table2_running_times``        Table 2 -- running time of the six algorithms
+``figure1_revenue_by_capacity_distribution``  Figure 1 -- revenue vs capacity
+                                distribution (normal / power / uniform), both
+                                datasets, multi-item and singleton classes
+``figure2_revenue_by_saturation``  Figure 2 -- revenue vs uniform beta
+                                (0.1 / 0.5 / 0.9), class size > 1
+``figure3_revenue_by_saturation_singleton``  Figure 3 -- same, singleton classes
+``figure4_revenue_growth_curves``  Figure 4 -- revenue vs strategy size
+``figure5_repeat_histograms``      Figure 5 -- repeat-recommendation histograms
+``figure6_scalability``            Figure 6 -- G-Greedy runtime vs #triples
+``figure7_incomplete_prices``      Figure 7 -- gradually available prices
+``extension_random_prices``        §7 -- Taylor vs mean-price vs Monte-Carlo
+``theory_small_instances``         §3.2/§4 -- exact vs local search vs greedy
+========================  =====================================================
+
+Every function returns a :class:`FigureResult` whose ``data`` holds the raw
+numbers and whose ``text`` is a readable rendering; the benchmarks under
+``benchmarks/`` call these functions and print the text.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.baselines import TopRatingBaseline, TopRevenueBaseline
+from repro.algorithms.exact_single_step import SingleStepExactSolver
+from repro.algorithms.global_greedy import GlobalGreedy, GlobalGreedyNoSaturation
+from repro.algorithms.incomplete_prices import SubHorizonWrapper
+from repro.algorithms.local_greedy import RandomizedLocalGreedy, SequentialLocalGreedy
+from repro.algorithms.local_search import LocalSearchApproximation
+from repro.core.entities import ItemCatalog
+from repro.core.problem import RevMaxInstance
+from repro.core.random_prices import PriceDistribution, TaylorRevenueModel
+from repro.core.revenue import RevenueModel
+from repro.datasets.capacities import sample_betas, sample_capacities
+from repro.datasets.pipeline import PipelineResult
+from repro.datasets.statistics import dataset_statistics, format_table1
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_instance
+from repro.experiments.harness import predicted_ratings_map, standard_algorithms
+from repro.experiments.reporting import (
+    format_grouped_bars,
+    format_histogram,
+    format_series,
+    format_table,
+)
+
+__all__ = [
+    "FigureResult",
+    "table1_dataset_statistics",
+    "table2_running_times",
+    "figure1_revenue_by_capacity_distribution",
+    "figure2_revenue_by_saturation",
+    "figure3_revenue_by_saturation_singleton",
+    "figure4_revenue_growth_curves",
+    "figure5_repeat_histograms",
+    "figure6_scalability",
+    "figure7_incomplete_prices",
+    "extension_random_prices",
+    "theory_small_instances",
+]
+
+
+@dataclass
+class FigureResult:
+    """Raw data and text rendering of one reproduced exhibit."""
+
+    name: str
+    description: str
+    data: Dict[str, object] = field(default_factory=dict)
+    text: str = ""
+
+    def __str__(self) -> str:
+        return f"== {self.name}: {self.description} ==\n{self.text}"
+
+
+# ----------------------------------------------------------------------
+# shared helpers
+# ----------------------------------------------------------------------
+def _configured_instance(
+    pipeline: PipelineResult,
+    capacity_distribution: Optional[str] = None,
+    beta_mode: str = "uniform",
+    beta_value: Optional[float] = None,
+    singleton_classes: bool = False,
+    seed: int = 0,
+) -> RevMaxInstance:
+    """Apply a figure's capacity/beta/class settings to a pipeline instance."""
+    instance = pipeline.instance
+    if capacity_distribution is not None:
+        capacities = sample_capacities(
+            instance.num_items,
+            instance.num_users,
+            distribution=capacity_distribution,
+            seed=seed,
+        )
+        instance = instance.with_capacities(capacities)
+    betas = sample_betas(
+        instance.num_items, mode=beta_mode, value=beta_value, seed=seed
+    )
+    instance = instance.with_betas(betas)
+    if singleton_classes:
+        instance = instance.with_singleton_classes()
+    return instance
+
+
+def _algorithm_suite(pipeline: PipelineResult, rl_permutations: int, seed: int):
+    return standard_algorithms(
+        predicted_ratings=predicted_ratings_map(pipeline),
+        rl_permutations=rl_permutations,
+        seed=seed,
+    )
+
+
+def _revenues_for_setting(pipeline: PipelineResult, instance: RevMaxInstance,
+                          rl_permutations: int, seed: int) -> Dict[str, float]:
+    revenues: Dict[str, float] = {}
+    for algorithm in _algorithm_suite(pipeline, rl_permutations, seed):
+        result = algorithm.run(instance)
+        revenues[algorithm.name] = result.revenue
+    return revenues
+
+
+# ----------------------------------------------------------------------
+# Table 1 / Table 2
+# ----------------------------------------------------------------------
+def table1_dataset_statistics(
+    pipelines: Mapping[str, PipelineResult],
+    synthetic_config: Optional[SyntheticConfig] = None,
+) -> FigureResult:
+    """Reproduce Table 1 (dataset statistics) for the reproduction datasets."""
+    rows = []
+    for name, pipeline in pipelines.items():
+        rows.append(
+            dataset_statistics(pipeline.instance, dataset=pipeline.dataset, name=name)
+        )
+    if synthetic_config is not None:
+        synthetic_instance = generate_synthetic_instance(synthetic_config)
+        rows.append(dataset_statistics(synthetic_instance, name="synthetic"))
+    text = format_table1(rows)
+    return FigureResult(
+        name="Table 1",
+        description="Data statistics",
+        data={"rows": rows},
+        text=text,
+    )
+
+
+def table2_running_times(
+    pipelines: Mapping[str, PipelineResult],
+    beta_value: Optional[float] = None,
+    rl_permutations: int = 6,
+    seed: int = 0,
+) -> FigureResult:
+    """Reproduce Table 2 (running time of GG / RLG / SLG / TopRE / TopRA)."""
+    data: Dict[str, Dict[str, float]] = {}
+    for name, pipeline in pipelines.items():
+        instance = _configured_instance(
+            pipeline,
+            capacity_distribution="normal",
+            beta_mode="uniform" if beta_value is None else "fixed",
+            beta_value=beta_value,
+            seed=seed,
+        )
+        times: Dict[str, float] = {}
+        for algorithm in _algorithm_suite(pipeline, rl_permutations, seed):
+            result = algorithm.run(instance)
+            times[algorithm.name] = result.runtime_seconds
+        data[name] = times
+    text = format_grouped_bars(data, group_label="dataset", value_format="{:.3f}s")
+    return FigureResult(
+        name="Table 2",
+        description="Running time comparison (seconds, reproduction scale)",
+        data=data,
+        text=text,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 1-3: revenue comparisons
+# ----------------------------------------------------------------------
+def figure1_revenue_by_capacity_distribution(
+    pipelines: Mapping[str, PipelineResult],
+    capacity_distributions: Sequence[str] = ("normal", "power", "uniform"),
+    singleton_classes: bool = False,
+    rl_permutations: int = 6,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 1: expected revenue with beta ~ U[0,1], varying capacity law."""
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name, pipeline in pipelines.items():
+        per_distribution: Dict[str, Dict[str, float]] = {}
+        for distribution in capacity_distributions:
+            instance = _configured_instance(
+                pipeline,
+                capacity_distribution=distribution,
+                beta_mode="uniform",
+                singleton_classes=singleton_classes,
+                seed=seed,
+            )
+            per_distribution[distribution] = _revenues_for_setting(
+                pipeline, instance, rl_permutations, seed
+            )
+        data[name] = per_distribution
+    blocks = []
+    for name, per_distribution in data.items():
+        blocks.append(f"[{name}]")
+        blocks.append(format_grouped_bars(per_distribution, group_label="capacity dist"))
+    suffix = ", singleton classes" if singleton_classes else ""
+    return FigureResult(
+        name="Figure 1" + (" (c,d)" if singleton_classes else " (a,b)"),
+        description=f"Expected total revenue, beta ~ U[0,1]{suffix}",
+        data=data,
+        text="\n".join(blocks),
+    )
+
+
+def figure2_revenue_by_saturation(
+    pipelines: Mapping[str, PipelineResult],
+    betas: Sequence[float] = (0.1, 0.5, 0.9),
+    capacity_distributions: Sequence[str] = ("normal", "exponential"),
+    singleton_classes: bool = False,
+    rl_permutations: int = 6,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 2: expected revenue at fixed beta in {0.1, 0.5, 0.9}."""
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name, pipeline in pipelines.items():
+        for distribution in capacity_distributions:
+            per_beta: Dict[str, Dict[str, float]] = {}
+            for beta in betas:
+                instance = _configured_instance(
+                    pipeline,
+                    capacity_distribution=distribution,
+                    beta_mode="fixed",
+                    beta_value=beta,
+                    singleton_classes=singleton_classes,
+                    seed=seed,
+                )
+                per_beta[f"beta={beta}"] = _revenues_for_setting(
+                    pipeline, instance, rl_permutations, seed
+                )
+            data[f"{name}/{distribution}"] = per_beta
+    blocks = []
+    for key, per_beta in data.items():
+        blocks.append(f"[{key}]")
+        blocks.append(format_grouped_bars(per_beta, group_label="saturation"))
+    figure_name = "Figure 3" if singleton_classes else "Figure 2"
+    suffix = ", singleton classes" if singleton_classes else ", class size > 1"
+    return FigureResult(
+        name=figure_name,
+        description=f"Expected revenue vs saturation strength{suffix}",
+        data=data,
+        text="\n".join(blocks),
+    )
+
+
+def figure3_revenue_by_saturation_singleton(
+    pipelines: Mapping[str, PipelineResult],
+    betas: Sequence[float] = (0.1, 0.5, 0.9),
+    capacity_distributions: Sequence[str] = ("normal", "exponential"),
+    rl_permutations: int = 6,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 3: same as Figure 2 but with every item in its own class."""
+    return figure2_revenue_by_saturation(
+        pipelines,
+        betas=betas,
+        capacity_distributions=capacity_distributions,
+        singleton_classes=True,
+        rl_permutations=rl_permutations,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4: revenue growth curves
+# ----------------------------------------------------------------------
+def figure4_revenue_growth_curves(
+    pipeline: PipelineResult,
+    rl_permutations: int = 6,
+    seed: int = 0,
+    singleton_classes: bool = False,
+) -> FigureResult:
+    """Figure 4: revenue vs strategy size for GG / SLG / RLG."""
+    instance = _configured_instance(
+        pipeline,
+        capacity_distribution="normal",
+        beta_mode="uniform",
+        singleton_classes=singleton_classes,
+        seed=seed,
+    )
+    algorithms = [
+        GlobalGreedy(),
+        SequentialLocalGreedy(),
+        RandomizedLocalGreedy(num_permutations=rl_permutations, seed=seed),
+    ]
+    curves: Dict[str, List[Tuple[int, float]]] = {}
+    for algorithm in algorithms:
+        result = algorithm.run(instance)
+        curves[algorithm.name] = result.growth_curve
+    blocks = []
+    for name, curve in curves.items():
+        blocks.append(f"[{name}]")
+        blocks.append(format_series(curve, x_label="|S|", y_label="revenue"))
+    return FigureResult(
+        name="Figure 4",
+        description="Expected revenue vs strategy size (diminishing returns)",
+        data={"curves": curves},
+        text="\n".join(blocks),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5: repeat-recommendation histograms
+# ----------------------------------------------------------------------
+def figure5_repeat_histograms(
+    pipeline: PipelineResult,
+    betas: Sequence[float] = (0.1, 0.5, 0.9),
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 5: histogram of repeat recommendations made by G-Greedy."""
+    histograms: Dict[float, Dict[int, int]] = {}
+    for beta in betas:
+        instance = _configured_instance(
+            pipeline,
+            capacity_distribution="normal",
+            beta_mode="fixed",
+            beta_value=beta,
+            seed=seed,
+        )
+        result = GlobalGreedy().run(instance)
+        counts: Dict[int, int] = {}
+        for repeats in result.strategy.repeat_counts().values():
+            counts[repeats] = counts.get(repeats, 0) + 1
+        histograms[beta] = counts
+    blocks = []
+    for beta, counts in histograms.items():
+        blocks.append(f"[beta = {beta}]")
+        blocks.append(format_histogram(counts, label="repeats"))
+    return FigureResult(
+        name="Figure 5",
+        description="Repeat recommendations per user-item pair (G-Greedy)",
+        data={"histograms": histograms},
+        text="\n".join(blocks),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6: scalability of G-Greedy on synthetic data
+# ----------------------------------------------------------------------
+def figure6_scalability(
+    user_counts: Sequence[int] = (500, 1000, 1500, 2000),
+    base_config: Optional[SyntheticConfig] = None,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 6: G-Greedy running time vs number of candidate triples."""
+    base_config = base_config or SyntheticConfig(seed=seed)
+    points: List[Tuple[int, float]] = []
+    revenues: List[float] = []
+    for num_users in user_counts:
+        config = SyntheticConfig(
+            num_users=num_users,
+            num_items=base_config.num_items,
+            num_classes=base_config.num_classes,
+            horizon=base_config.horizon,
+            candidates_per_user=base_config.candidates_per_user,
+            display_limit=base_config.display_limit,
+            capacity_fraction=base_config.capacity_fraction,
+            beta=base_config.beta,
+            seed=seed,
+        )
+        instance = generate_synthetic_instance(config)
+        num_triples = instance.num_candidate_triples()
+        start = time.perf_counter()
+        result = GlobalGreedy().run(instance)
+        elapsed = time.perf_counter() - start
+        points.append((num_triples, elapsed))
+        revenues.append(result.revenue)
+    text = format_series(points, x_label="#candidate triples", y_label="seconds")
+    return FigureResult(
+        name="Figure 6",
+        description="G-Greedy running time on synthetic data (near-linear growth)",
+        data={"points": points, "revenues": revenues, "user_counts": list(user_counts)},
+        text=text,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7: gradually available prices
+# ----------------------------------------------------------------------
+def figure7_incomplete_prices(
+    pipelines: Mapping[str, PipelineResult],
+    cutoffs: Sequence[int] = (2, 4, 5),
+    capacity_distributions: Sequence[str] = ("normal", "power"),
+    beta_value: float = 0.5,
+    rl_permutations: int = 6,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 7: revenue when prices arrive sub-horizon by sub-horizon."""
+    data: Dict[str, Dict[str, float]] = {}
+    for name, pipeline in pipelines.items():
+        for distribution in capacity_distributions:
+            instance = _configured_instance(
+                pipeline,
+                capacity_distribution=distribution,
+                beta_mode="fixed",
+                beta_value=beta_value,
+                seed=seed,
+            )
+            revenues: Dict[str, float] = {}
+            revenues["GG"] = GlobalGreedy().run(instance).revenue
+            for cutoff in cutoffs:
+                wrapper = SubHorizonWrapper(GlobalGreedy(), [cutoff])
+                revenues[f"GG_{cutoff}"] = wrapper.run(instance).revenue
+            revenues["SLG"] = SequentialLocalGreedy().run(instance).revenue
+            rlg = RandomizedLocalGreedy(num_permutations=rl_permutations, seed=seed)
+            revenues["RLG"] = rlg.run(instance).revenue
+            for cutoff in cutoffs:
+                wrapper = SubHorizonWrapper(
+                    RandomizedLocalGreedy(num_permutations=rl_permutations, seed=seed),
+                    [cutoff],
+                )
+                revenues[f"RLG_{cutoff}"] = wrapper.run(instance).revenue
+            data[f"{name}/{distribution}"] = revenues
+    text = format_grouped_bars(data, group_label="dataset/capacity")
+    return FigureResult(
+        name="Figure 7",
+        description=(
+            "Revenue with gradually available prices "
+            f"(cut-offs {tuple(cutoffs)}, beta = {beta_value})"
+        ),
+        data=data,
+        text=text,
+    )
+
+
+# ----------------------------------------------------------------------
+# §7 extension: random prices
+# ----------------------------------------------------------------------
+def extension_random_prices(
+    num_users: int = 12,
+    num_items: int = 6,
+    horizon: int = 4,
+    price_std_fraction: float = 0.15,
+    num_mc_samples: int = 300,
+    seed: int = 0,
+) -> FigureResult:
+    """§7: compare mean-price, Taylor and Monte-Carlo revenue estimates.
+
+    A small random-price market is generated; the strategy is planned by
+    G-Greedy on the mean-price instance and then evaluated by the three
+    estimators.  The Taylor estimate should sit closer to the Monte-Carlo
+    ground truth than the naive mean-price estimate.
+    """
+    rng = np.random.default_rng(seed)
+    catalog = ItemCatalog.from_assignment(
+        [item % max(1, num_items // 2) for item in range(num_items)]
+    )
+    means = rng.uniform(20.0, 200.0, size=(num_items, horizon))
+    variances = (price_std_fraction * means) ** 2
+    distribution = PriceDistribution(means, variances)
+    valuations = rng.uniform(0.8, 1.4, size=num_items)
+
+    def adoption_given_price(user: int, item: int, t: int, price: float) -> float:
+        reference = means[item].mean() * valuations[item]
+        if reference <= 0:
+            return 0.0
+        ratio = price / reference
+        return float(np.clip(1.2 - 0.6 * ratio, 0.0, 1.0))
+
+    candidate_pairs = [
+        (user, item)
+        for user in range(num_users)
+        for item in rng.choice(num_items, size=max(1, num_items // 2), replace=False)
+    ]
+    model = TaylorRevenueModel(
+        num_users=num_users,
+        catalog=catalog,
+        display_limit=2,
+        capacities=num_users,
+        betas=0.6,
+        price_distribution=distribution,
+        adoption_given_price=adoption_given_price,
+        candidate_pairs=candidate_pairs,
+    )
+    planning_instance = model.mean_price_instance()
+    strategy = GlobalGreedy().build_strategy(planning_instance)
+    triples = strategy.sorted_triples()
+
+    mean_estimate = model.expected_price_revenue(triples)
+    taylor_estimate = model.taylor_revenue(triples)
+    monte_carlo = model.monte_carlo_revenue(triples, num_samples=num_mc_samples, seed=seed)
+    data = {
+        "mean_price_estimate": mean_estimate,
+        "taylor_estimate": taylor_estimate,
+        "monte_carlo_ground_truth": monte_carlo,
+        "mean_abs_error": abs(mean_estimate - monte_carlo),
+        "taylor_abs_error": abs(taylor_estimate - monte_carlo),
+        "strategy_size": len(triples),
+    }
+    text = format_table(
+        ["estimator", "expected revenue", "abs error vs MC"],
+        [
+            ["mean price (0th order)", mean_estimate, abs(mean_estimate - monte_carlo)],
+            ["Taylor (2nd order)", taylor_estimate, abs(taylor_estimate - monte_carlo)],
+            ["Monte-Carlo ground truth", monte_carlo, 0.0],
+        ],
+    )
+    return FigureResult(
+        name="Extension (§7)",
+        description="Random-price revenue estimation: Taylor vs mean-price",
+        data=data,
+        text=text,
+    )
+
+
+# ----------------------------------------------------------------------
+# §3.2 / §4 theory: exact and approximate solvers on small instances
+# ----------------------------------------------------------------------
+def theory_small_instances(seed: int = 0) -> FigureResult:
+    """Compare the exact T=1 solver, local search and greedy on tiny instances."""
+    rng = np.random.default_rng(seed)
+    num_users, num_items = 6, 5
+    # --- T = 1: exact Max-DCS vs greedy -----------------------------------
+    prices_t1 = rng.uniform(10.0, 100.0, size=(num_items, 1))
+    adoption_t1 = {}
+    for user in range(num_users):
+        for item in range(num_items):
+            if rng.random() < 0.7:
+                adoption_t1[(user, item)] = [float(rng.uniform(0.1, 0.9))]
+    # Singleton classes keep the T=1 revenue additive, so the Max-DCS solution
+    # is the true optimum and can anchor the greedy comparison.
+    instance_t1 = RevMaxInstance.from_dense_adoption(
+        prices=prices_t1,
+        adoption=adoption_t1,
+        item_class=list(range(num_items)),
+        capacities=3,
+        betas=0.5,
+        display_limit=2,
+        num_users=num_users,
+        name="theory-T1",
+    )
+    exact = SingleStepExactSolver().run(instance_t1)
+    greedy_t1 = GlobalGreedy().run(instance_t1)
+
+    # --- T = 3: local search (R-REVMAX) vs greedy --------------------------
+    horizon = 3
+    prices_t3 = rng.uniform(10.0, 100.0, size=(num_items, horizon))
+    adoption_t3 = {}
+    for user in range(4):
+        for item in range(3):
+            if rng.random() < 0.8:
+                adoption_t3[(user, item)] = rng.uniform(0.1, 0.9, size=horizon).tolist()
+    instance_t3 = RevMaxInstance.from_dense_adoption(
+        prices=prices_t3,
+        adoption=adoption_t3,
+        item_class=[item % 2 for item in range(num_items)],
+        capacities=2,
+        betas=0.5,
+        display_limit=1,
+        num_users=4,
+        name="theory-T3",
+    )
+    local_search = LocalSearchApproximation(epsilon=0.5).run(instance_t3)
+    greedy_t3 = GlobalGreedy().run(instance_t3)
+
+    data = {
+        "t1_exact_revenue": exact.revenue,
+        "t1_greedy_revenue": greedy_t1.revenue,
+        "t3_local_search_revenue": local_search.revenue,
+        "t3_local_search_objective": local_search.extras.get("objective_value"),
+        "t3_greedy_revenue": greedy_t3.revenue,
+    }
+    text = format_table(
+        ["setting", "algorithm", "expected revenue"],
+        [
+            ["T=1", "Exact Max-DCS", exact.revenue],
+            ["T=1", "G-Greedy", greedy_t1.revenue],
+            ["T=3 (R-REVMAX)", "Local search 1/(4+eps)", local_search.revenue],
+            ["T=3 (R-REVMAX)", "G-Greedy", greedy_t3.revenue],
+        ],
+    )
+    return FigureResult(
+        name="Theory (§3.2, §4)",
+        description="Exact and approximation algorithms on small instances",
+        data=data,
+        text=text,
+    )

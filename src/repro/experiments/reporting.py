@@ -1,0 +1,98 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The paper reports its evaluation as bar charts, line plots, histograms and two
+tables.  A pure-library reproduction regenerates the *numbers* behind each of
+them; this module renders those numbers as aligned text tables so benchmark
+output and EXPERIMENTS.md stay human-readable without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "format_grouped_bars", "format_histogram", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 float_format: str = "{:.2f}") -> str:
+    """Render rows as an aligned text table.
+
+    Args:
+        headers: column names.
+        rows: row values; floats are formatted with ``float_format``.
+        float_format: format spec applied to float cells.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered_rows = [[render(cell) for cell in row] for row in rows]
+    table = [list(headers)] + rendered_rows
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_grouped_bars(
+    data: Mapping[str, Mapping[str, float]],
+    group_label: str = "group",
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render a "grouped bar chart" (group -> series -> value) as a table.
+
+    This is the textual analogue of Figures 1-3 and 7: each row is a group
+    (e.g. a capacity distribution or a beta value), each column an algorithm.
+    """
+    groups = list(data.keys())
+    series: List[str] = []
+    for group_values in data.values():
+        for name in group_values:
+            if name not in series:
+                series.append(name)
+    headers = [group_label] + series
+    rows = []
+    for group in groups:
+        row: List[object] = [group]
+        for name in series:
+            value = data[group].get(name)
+            row.append(value_format.format(value) if value is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_histogram(counts: Mapping[int, int], label: str = "repeats",
+                     width: int = 40) -> str:
+    """Render a histogram (e.g. Figure 5's repeat counts) with ASCII bars."""
+    if not counts:
+        return f"(no {label})"
+    total = sum(counts.values())
+    peak = max(counts.values())
+    lines = [f"{label:>8}  count  share"]
+    for key in sorted(counts):
+        count = counts[key]
+        share = count / total
+        bar = "#" * max(1, int(round(width * count / peak)))
+        lines.append(f"{key:>8}  {count:>5}  {share:>6.1%}  {bar}")
+    return "\n".join(lines)
+
+
+def format_series(points: Sequence[Tuple[float, float]],
+                  x_label: str = "x", y_label: str = "y",
+                  max_points: Optional[int] = 20) -> str:
+    """Render an (x, y) series as a two-column table, down-sampling if long."""
+    if not points:
+        return "(empty series)"
+    if max_points is not None and len(points) > max_points:
+        step = max(1, len(points) // max_points)
+        sampled = list(points[::step])
+        if sampled[-1] != points[-1]:
+            sampled.append(points[-1])
+    else:
+        sampled = list(points)
+    rows = [[f"{x:g}", f"{y:,.2f}"] for x, y in sampled]
+    return format_table([x_label, y_label], rows)

@@ -1,0 +1,11 @@
+"""Graph substrate: min-cost flow and maximum-weight degree-constrained subgraphs."""
+
+from repro.graph.flow import FlowResult, MinCostFlow
+from repro.graph.dcs import DCSResult, max_weight_degree_constrained_subgraph
+
+__all__ = [
+    "DCSResult",
+    "FlowResult",
+    "MinCostFlow",
+    "max_weight_degree_constrained_subgraph",
+]

@@ -1,0 +1,97 @@
+"""Maximum-weight degree-constrained subgraphs of bipartite graphs (Max-DCS).
+
+§3.2 of the paper shows that REVMAX with a single time step reduces to
+Max-DCS on the bipartite user-item graph: pick a subset of edges of maximum
+total weight such that every user node has degree at most ``k`` and every item
+node has degree at most ``q_i``.
+
+With non-negative weights this is a transportation-style problem and is solved
+here via minimum-cost flow: source -> user arcs of capacity ``d_u``,
+user -> item arcs of capacity one and cost equal to the negated edge weight,
+item -> sink arcs of capacity ``d_i``.  Augmentation stops as soon as the
+cheapest augmenting path no longer has negative cost, i.e. exactly when adding
+another edge would not increase the subgraph's weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.graph.flow import MinCostFlow
+
+__all__ = ["DCSResult", "max_weight_degree_constrained_subgraph"]
+
+
+@dataclass
+class DCSResult:
+    """Result of a Max-DCS computation.
+
+    Attributes:
+        edges: the selected edges as ``(left, right)`` pairs.
+        total_weight: sum of the weights of the selected edges.
+    """
+
+    edges: List[Tuple[Hashable, Hashable]]
+    total_weight: float
+
+
+def max_weight_degree_constrained_subgraph(
+    edges: Mapping[Tuple[Hashable, Hashable], float],
+    left_degrees: Mapping[Hashable, int],
+    right_degrees: Mapping[Hashable, int],
+) -> DCSResult:
+    """Solve Max-DCS on a bipartite graph with non-negative edge weights.
+
+    Args:
+        edges: mapping ``(left node, right node) -> weight``; weights must be
+            non-negative (zero-weight edges are never selected).
+        left_degrees: maximum degree of each left node; nodes absent from the
+            mapping are treated as having degree bound zero.
+        right_degrees: maximum degree of each right node (same convention).
+
+    Returns:
+        The selected edge set and its total weight.
+    """
+    for edge, weight in edges.items():
+        if weight < 0:
+            raise ValueError(f"edge weights must be non-negative, got {weight} for {edge}")
+
+    network = MinCostFlow()
+    source = ("__source__",)
+    sink = ("__sink__",)
+    network.add_node(source)
+    network.add_node(sink)
+
+    left_nodes = {left for (left, _right) in edges}
+    right_nodes = {right for (_left, right) in edges}
+
+    for left in left_nodes:
+        bound = int(left_degrees.get(left, 0))
+        if bound > 0:
+            network.add_edge(source, ("L", left), bound, 0.0)
+    for right in right_nodes:
+        bound = int(right_degrees.get(right, 0))
+        if bound > 0:
+            network.add_edge(("R", right), sink, bound, 0.0)
+
+    handle_to_edge: Dict[int, Tuple[Hashable, Hashable]] = {}
+    for (left, right), weight in edges.items():
+        if weight <= 0.0:
+            continue
+        if left_degrees.get(left, 0) <= 0 or right_degrees.get(right, 0) <= 0:
+            continue
+        handle = network.add_edge(("L", left), ("R", right), 1.0, -float(weight))
+        handle_to_edge[handle] = (left, right)
+
+    if not handle_to_edge:
+        return DCSResult(edges=[], total_weight=0.0)
+
+    result = network.solve(source, sink, stop_when_nonnegative=True)
+    selected: List[Tuple[Hashable, Hashable]] = []
+    total = 0.0
+    for handle, edge in handle_to_edge.items():
+        if result.edge_flows.get(handle, 0.0) > 0.5:
+            selected.append(edge)
+            total += float(edges[edge])
+    return DCSResult(edges=selected, total_weight=total)

@@ -1,0 +1,259 @@
+"""An addressable maximum binary heap.
+
+The greedy algorithms of the paper repeatedly need to
+
+* look at the entry with the largest (marginal revenue) priority,
+* update the priority of an arbitrary entry after a strategy change
+  (``Decrease-Key`` in the paper's terminology, although priorities may also
+  increase when stale lazy-forward values are refreshed), and
+* remove arbitrary entries once a constraint rules them out.
+
+The standard library ``heapq`` module supports none of these operations
+directly, so this module implements a classic array-backed binary heap with a
+position index (``key -> slot``) that makes every entry addressable in
+``O(1)`` and updatable in ``O(log n)``.
+
+Ties between equal priorities are broken by insertion order (older entries
+first) so that all algorithms built on top of the heap are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator, List, Optional, Tuple
+
+__all__ = ["AddressableMaxHeap"]
+
+
+class _Entry:
+    """A single heap entry.
+
+    Attributes:
+        key: hashable identifier of the entry (unique within the heap).
+        priority: the value the heap orders by (larger is better).
+        order: insertion sequence number used for deterministic tie-breaks.
+    """
+
+    __slots__ = ("key", "priority", "order")
+
+    def __init__(self, key: Hashable, priority: float, order: int) -> None:
+        self.key = key
+        self.priority = priority
+        self.order = order
+
+    def beats(self, other: "_Entry") -> bool:
+        """Return True if this entry should sit above ``other`` in the heap."""
+        if self.priority != other.priority:
+            return self.priority > other.priority
+        return self.order < other.order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"_Entry(key={self.key!r}, priority={self.priority!r})"
+
+
+class AddressableMaxHeap:
+    """Array-backed max-heap with O(1) lookup of entries by key.
+
+    Example:
+        >>> heap = AddressableMaxHeap()
+        >>> heap.insert("a", 1.0)
+        >>> heap.insert("b", 3.0)
+        >>> heap.peek()
+        ('b', 3.0)
+        >>> heap.update("a", 10.0)
+        >>> heap.pop()
+        ('a', 10.0)
+    """
+
+    def __init__(self) -> None:
+        self._slots: List[_Entry] = []
+        self._positions: dict = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __bool__(self) -> bool:
+        return bool(self._slots)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._positions
+
+    def __iter__(self) -> Iterator[Hashable]:
+        """Iterate over keys in arbitrary (heap array) order."""
+        return iter(list(self._positions.keys()))
+
+    def keys(self) -> List[Hashable]:
+        """Return all keys currently stored, in arbitrary order."""
+        return list(self._positions.keys())
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+    def insert(self, key: Hashable, priority: float) -> None:
+        """Insert ``key`` with ``priority``.
+
+        Raises:
+            KeyError: if ``key`` is already present (use :meth:`update`).
+        """
+        if key in self._positions:
+            raise KeyError(f"key already present in heap: {key!r}")
+        entry = _Entry(key, float(priority), self._counter)
+        self._counter += 1
+        self._slots.append(entry)
+        index = len(self._slots) - 1
+        self._positions[key] = index
+        self._sift_up(index)
+
+    def push(self, key: Hashable, priority: float) -> None:
+        """Insert ``key`` or update its priority if already present."""
+        if key in self._positions:
+            self.update(key, priority)
+        else:
+            self.insert(key, priority)
+
+    def peek(self) -> Tuple[Hashable, float]:
+        """Return ``(key, priority)`` of the maximum entry without removing it.
+
+        Raises:
+            IndexError: if the heap is empty.
+        """
+        if not self._slots:
+            raise IndexError("peek from an empty heap")
+        top = self._slots[0]
+        return top.key, top.priority
+
+    def pop(self) -> Tuple[Hashable, float]:
+        """Remove and return ``(key, priority)`` of the maximum entry.
+
+        Raises:
+            IndexError: if the heap is empty.
+        """
+        if not self._slots:
+            raise IndexError("pop from an empty heap")
+        top = self._slots[0]
+        self._remove_at(0)
+        return top.key, top.priority
+
+    def priority(self, key: Hashable) -> float:
+        """Return the current priority associated with ``key``."""
+        index = self._positions[key]
+        return self._slots[index].priority
+
+    def get(self, key: Hashable, default: Optional[float] = None) -> Optional[float]:
+        """Return the priority of ``key`` or ``default`` if absent."""
+        if key not in self._positions:
+            return default
+        return self.priority(key)
+
+    def update(self, key: Hashable, priority: float) -> None:
+        """Change the priority of an existing entry (up or down).
+
+        Raises:
+            KeyError: if ``key`` is not in the heap.
+        """
+        index = self._positions[key]
+        entry = self._slots[index]
+        old = entry.priority
+        entry.priority = float(priority)
+        if entry.priority > old:
+            self._sift_up(index)
+        elif entry.priority < old:
+            self._sift_down(index)
+
+    def delete(self, key: Hashable) -> float:
+        """Remove ``key`` from the heap and return its last priority.
+
+        Raises:
+            KeyError: if ``key`` is not present.
+        """
+        index = self._positions[key]
+        priority = self._slots[index].priority
+        self._remove_at(index)
+        return priority
+
+    def discard(self, key: Hashable) -> None:
+        """Remove ``key`` if present; do nothing otherwise."""
+        if key in self._positions:
+            self.delete(key)
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._slots.clear()
+        self._positions.clear()
+
+    def items(self) -> List[Tuple[Hashable, float]]:
+        """Return ``(key, priority)`` pairs in arbitrary order."""
+        return [(entry.key, entry.priority) for entry in self._slots]
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+    def _remove_at(self, index: int) -> None:
+        last = len(self._slots) - 1
+        entry = self._slots[index]
+        del self._positions[entry.key]
+        if index == last:
+            self._slots.pop()
+            return
+        moved = self._slots[last]
+        self._slots[index] = moved
+        self._positions[moved.key] = index
+        self._slots.pop()
+        # The moved entry may need to travel either direction.
+        parent = (index - 1) // 2
+        if index > 0 and moved.beats(self._slots[parent]):
+            self._sift_up(index)
+        else:
+            self._sift_down(index)
+
+    def _sift_up(self, index: int) -> None:
+        slots = self._slots
+        entry = slots[index]
+        while index > 0:
+            parent = (index - 1) // 2
+            if entry.beats(slots[parent]):
+                slots[index] = slots[parent]
+                self._positions[slots[index].key] = index
+                index = parent
+            else:
+                break
+        slots[index] = entry
+        self._positions[entry.key] = index
+
+    def _sift_down(self, index: int) -> None:
+        slots = self._slots
+        size = len(slots)
+        entry = slots[index]
+        while True:
+            left = 2 * index + 1
+            right = left + 1
+            best = index
+            best_entry = entry
+            if left < size and slots[left].beats(best_entry):
+                best = left
+                best_entry = slots[left]
+            if right < size and slots[right].beats(best_entry):
+                best = right
+                best_entry = slots[right]
+            if best == index:
+                break
+            slots[index] = slots[best]
+            self._positions[slots[index].key] = index
+            index = best
+        slots[index] = entry
+        self._positions[entry.key] = index
+
+    # ------------------------------------------------------------------
+    # invariants (used by tests / property based checks)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if the heap property or index map is broken."""
+        for index, entry in enumerate(self._slots):
+            assert self._positions[entry.key] == index, "position map out of sync"
+            if index > 0:
+                parent = (index - 1) // 2
+                assert not entry.beats(self._slots[parent]), "heap property violated"
+        assert len(self._positions) == len(self._slots), "dangling position entries"

@@ -1,0 +1,201 @@
+"""Two-level heap structure of Algorithm 1 (Global Greedy).
+
+The paper argues that a single "giant" heap over all ``|U| x |I| x T``
+candidate triples makes every ``Decrease-Key`` traverse a tall tree.  Instead,
+G-Greedy keeps
+
+* one *lower-level* heap per group (a (user, item) pair) containing at most
+  ``T`` entries -- the candidate time steps for that pair, and
+* one *upper-level* heap over group identifiers whose priority is the
+  priority of the group's current best entry.
+
+Selecting the globally best candidate inspects only the upper-level heap;
+updating the ``T`` stale entries of one group touches a heap of height
+``O(log T)`` plus a single upper-level adjustment.
+
+The structure below is generic: groups are arbitrary hashable identifiers and
+entries within a group are arbitrary hashable keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.heaps.binary_heap import AddressableMaxHeap
+
+__all__ = ["TwoLevelHeap"]
+
+
+class TwoLevelHeap:
+    """A heap of heaps keyed by (group, entry) pairs.
+
+    Example:
+        >>> heap = TwoLevelHeap()
+        >>> heap.insert(("u1", "i1"), ("u1", "i1", 0), 5.0)
+        >>> heap.insert(("u1", "i1"), ("u1", "i1", 1), 7.0)
+        >>> heap.insert(("u2", "i9"), ("u2", "i9", 0), 6.0)
+        >>> heap.peek()
+        (('u1', 'i1', 1), 7.0)
+    """
+
+    def __init__(self) -> None:
+        self._lower: Dict[Hashable, AddressableMaxHeap] = {}
+        self._upper = AddressableMaxHeap()
+        self._group_of: Dict[Hashable, Hashable] = {}
+
+    # ------------------------------------------------------------------
+    # sizing / membership
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._group_of)
+
+    def __bool__(self) -> bool:
+        return bool(self._group_of)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._group_of
+
+    @property
+    def group_count(self) -> int:
+        """Number of non-empty lower-level heaps."""
+        return len(self._lower)
+
+    def group_keys(self, group: Hashable) -> List[Hashable]:
+        """Return the entry keys currently stored under ``group``."""
+        lower = self._lower.get(group)
+        if lower is None:
+            return []
+        return lower.keys()
+
+    def groups(self) -> List[Hashable]:
+        """Return all group identifiers with at least one entry."""
+        return list(self._lower.keys())
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, group: Hashable, key: Hashable, priority: float) -> None:
+        """Insert ``key`` with ``priority`` under ``group``.
+
+        Raises:
+            KeyError: if ``key`` already exists (keys are global across groups).
+        """
+        if key in self._group_of:
+            raise KeyError(f"key already present: {key!r}")
+        lower = self._lower.get(group)
+        if lower is None:
+            lower = AddressableMaxHeap()
+            self._lower[group] = lower
+        lower.insert(key, priority)
+        self._group_of[key] = group
+        self._refresh_upper(group)
+
+    def update(self, key: Hashable, priority: float) -> None:
+        """Change the priority of ``key`` (in whichever group it lives)."""
+        group = self._group_of[key]
+        self._lower[group].update(key, priority)
+        self._refresh_upper(group)
+
+    def push(self, group: Hashable, key: Hashable, priority: float) -> None:
+        """Insert ``key`` or update it in place if already present."""
+        if key in self._group_of:
+            self.update(key, priority)
+        else:
+            self.insert(group, key, priority)
+
+    def delete(self, key: Hashable) -> float:
+        """Remove ``key`` and return its last priority."""
+        group = self._group_of.pop(key)
+        lower = self._lower[group]
+        priority = lower.delete(key)
+        if not lower:
+            del self._lower[group]
+            self._upper.discard(group)
+        else:
+            self._refresh_upper(group)
+        return priority
+
+    def discard(self, key: Hashable) -> None:
+        """Remove ``key`` if present."""
+        if key in self._group_of:
+            self.delete(key)
+
+    def delete_group(self, group: Hashable) -> None:
+        """Remove an entire group and all of its entries."""
+        lower = self._lower.pop(group, None)
+        if lower is None:
+            return
+        for key in lower.keys():
+            self._group_of.pop(key, None)
+        self._upper.discard(group)
+
+    def clear(self) -> None:
+        """Remove everything."""
+        self._lower.clear()
+        self._upper.clear()
+        self._group_of.clear()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def peek(self) -> Tuple[Hashable, float]:
+        """Return the globally best ``(key, priority)`` without removing it.
+
+        Raises:
+            IndexError: if the structure is empty.
+        """
+        if not self._upper:
+            raise IndexError("peek from an empty two-level heap")
+        group, _ = self._upper.peek()
+        return self._lower[group].peek()
+
+    def pop(self) -> Tuple[Hashable, float]:
+        """Remove and return the globally best ``(key, priority)``."""
+        key, priority = self.peek()
+        self.delete(key)
+        return key, priority
+
+    def priority(self, key: Hashable) -> float:
+        """Return the priority currently stored for ``key``."""
+        group = self._group_of[key]
+        return self._lower[group].priority(key)
+
+    def group_of(self, key: Hashable) -> Hashable:
+        """Return the group identifier under which ``key`` is stored."""
+        return self._group_of[key]
+
+    def items(self) -> Iterable[Tuple[Hashable, float]]:
+        """Yield every ``(key, priority)`` pair (arbitrary order)."""
+        for lower in self._lower.values():
+            for pair in lower.items():
+                yield pair
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if any structural invariant is violated."""
+        assert set(self._lower.keys()) == set(self._upper.keys()), (
+            "upper heap does not mirror lower heap groups"
+        )
+        total = 0
+        for group, lower in self._lower.items():
+            lower.check_invariants()
+            assert len(lower) > 0, "empty lower heap retained"
+            _, best = lower.peek()
+            assert self._upper.priority(group) == best, "upper priority stale"
+            for key in lower.keys():
+                assert self._group_of[key] == group, "group_of map out of sync"
+            total += len(lower)
+        assert total == len(self._group_of), "entry count mismatch"
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+    def _refresh_upper(self, group: Hashable) -> None:
+        lower = self._lower.get(group)
+        if lower is None or not lower:
+            self._upper.discard(group)
+            return
+        _, best = lower.peek()
+        self._upper.push(group, best)

@@ -1,0 +1,213 @@
+"""Serialization of instances, strategies and results to plain JSON.
+
+A production deployment of a REVMAX planner needs to move three artefacts
+between systems: the *instance* (assembled by the data pipeline, consumed by
+the optimizer), the *strategy* (the recommendation plan handed to the serving
+layer), and the *result record* (revenue / runtime diagnostics for
+monitoring).  This module provides explicit, dependency-free JSON encodings
+for all three, with round-trip guarantees covered by ``tests/test_io.py``.
+
+The format is deliberately simple and versioned so it can be inspected and
+produced by other tools:
+
+* instances store dense per-item arrays (prices, capacities, betas, classes)
+  and a sparse list of adoption-probability rows;
+* strategies store a list of ``[user, item, t]`` triples;
+* results store the scalar summary plus the strategy inline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.algorithms.base import AlgorithmResult
+from repro.core.entities import ItemCatalog, Triple
+from repro.core.problem import AdoptionTable, RevMaxInstance
+from repro.core.strategy import Strategy
+
+__all__ = [
+    "FORMAT_VERSION",
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "strategy_to_dict",
+    "strategy_from_dict",
+    "save_strategy",
+    "load_strategy",
+    "result_to_dict",
+    "save_result",
+]
+
+#: Version tag written into every serialized document.
+FORMAT_VERSION = 1
+
+_PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# instances
+# ----------------------------------------------------------------------
+def instance_to_dict(instance: RevMaxInstance) -> Dict:
+    """Encode an instance as a JSON-serializable dictionary."""
+    adoption_rows = []
+    for user, item in instance.adoption.pairs():
+        vector = instance.adoption.get(user, item)
+        adoption_rows.append({
+            "user": int(user),
+            "item": int(item),
+            "probabilities": [float(p) for p in vector],
+        })
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "revmax-instance",
+        "name": instance.name,
+        "num_users": instance.num_users,
+        "horizon": instance.horizon,
+        "display_limit": instance.display_limit,
+        "item_class": [int(c) for c in instance.catalog.item_class],
+        "class_names": {str(k): v for k, v in instance.catalog.class_names.items()},
+        "prices": instance.prices.tolist(),
+        "capacities": instance.capacities.tolist(),
+        "betas": instance.betas.tolist(),
+        "adoption": adoption_rows,
+    }
+
+
+def instance_from_dict(document: Dict) -> RevMaxInstance:
+    """Decode an instance from the dictionary produced by :func:`instance_to_dict`.
+
+    Raises:
+        ValueError: if the document kind or version is not recognised.
+    """
+    _check_document(document, "revmax-instance")
+    horizon = int(document["horizon"])
+    table = AdoptionTable(horizon)
+    for row in document["adoption"]:
+        table.set(int(row["user"]), int(row["item"]), row["probabilities"])
+    catalog = ItemCatalog.from_assignment(
+        document["item_class"],
+        {int(k): v for k, v in document.get("class_names", {}).items()},
+    )
+    return RevMaxInstance(
+        num_users=int(document["num_users"]),
+        catalog=catalog,
+        horizon=horizon,
+        display_limit=int(document["display_limit"]),
+        prices=np.asarray(document["prices"], dtype=float),
+        capacities=np.asarray(document["capacities"], dtype=int),
+        betas=np.asarray(document["betas"], dtype=float),
+        adoption=table,
+        name=document.get("name", "revmax-instance"),
+    )
+
+
+def save_instance(instance: RevMaxInstance, path: _PathLike) -> None:
+    """Write an instance to a JSON file."""
+    _write_json(instance_to_dict(instance), path)
+
+
+def load_instance(path: _PathLike) -> RevMaxInstance:
+    """Read an instance from a JSON file."""
+    return instance_from_dict(_read_json(path))
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+def strategy_to_dict(strategy: Strategy, instance_name: Optional[str] = None) -> Dict:
+    """Encode a strategy as a JSON-serializable dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "revmax-strategy",
+        "instance_name": instance_name,
+        "triples": [[z.user, z.item, z.t] for z in strategy.sorted_triples()],
+    }
+
+
+def strategy_from_dict(document: Dict, catalog: ItemCatalog) -> Strategy:
+    """Decode a strategy; the catalog must match the instance it was built for."""
+    _check_document(document, "revmax-strategy")
+    triples = [Triple(int(u), int(i), int(t)) for u, i, t in document["triples"]]
+    return Strategy(catalog, triples)
+
+
+def save_strategy(strategy: Strategy, path: _PathLike,
+                  instance_name: Optional[str] = None) -> None:
+    """Write a strategy to a JSON file."""
+    _write_json(strategy_to_dict(strategy, instance_name), path)
+
+
+def load_strategy(path: _PathLike, catalog: ItemCatalog) -> Strategy:
+    """Read a strategy from a JSON file."""
+    return strategy_from_dict(_read_json(path), catalog)
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+def result_to_dict(result: AlgorithmResult) -> Dict:
+    """Encode an algorithm result (summary + strategy) for logging."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "revmax-result",
+        "algorithm": result.algorithm,
+        "instance_name": result.instance_name,
+        "revenue": float(result.revenue),
+        "runtime_seconds": float(result.runtime_seconds),
+        "strategy_size": result.strategy_size,
+        "evaluations": int(result.evaluations),
+        "growth_curve": [[int(size), float(revenue)]
+                         for size, revenue in result.growth_curve],
+        "extras": {key: _json_safe(value) for key, value in result.extras.items()},
+        "strategy": strategy_to_dict(result.strategy, result.instance_name),
+    }
+
+
+def save_result(result: AlgorithmResult, path: _PathLike) -> None:
+    """Write an algorithm result to a JSON file."""
+    _write_json(result_to_dict(result), path)
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _json_safe(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return value
+
+
+def _check_document(document: Dict, expected_kind: str) -> None:
+    kind = document.get("kind")
+    if kind != expected_kind:
+        raise ValueError(f"expected a {expected_kind!r} document, got {kind!r}")
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {version!r} (supported: {FORMAT_VERSION})"
+        )
+
+
+def _write_json(document: Dict, path: _PathLike) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+
+
+def _read_json(path: _PathLike) -> Dict:
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)

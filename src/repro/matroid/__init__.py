@@ -1,0 +1,30 @@
+"""Matroid / submodular optimization toolkit (§4 of the paper)."""
+
+from repro.matroid.matroid import FreeMatroid, Matroid, UniformMatroid
+from repro.matroid.partition import PartitionMatroid, display_constraint_matroid
+from repro.matroid.submodular import (
+    MemoizedSetFunction,
+    find_submodularity_violation,
+    is_monotone,
+    is_submodular,
+)
+from repro.matroid.local_search import (
+    LocalSearchResult,
+    local_search_matroid,
+    non_monotone_local_search,
+)
+
+__all__ = [
+    "FreeMatroid",
+    "LocalSearchResult",
+    "Matroid",
+    "MemoizedSetFunction",
+    "PartitionMatroid",
+    "UniformMatroid",
+    "display_constraint_matroid",
+    "find_submodularity_violation",
+    "is_monotone",
+    "is_submodular",
+    "local_search_matroid",
+    "non_monotone_local_search",
+]

@@ -1,0 +1,28 @@
+"""Pricing substrate: KDE estimation, valuations, price series, adoption model."""
+
+from repro.pricing.kde import GaussianKDE, silverman_bandwidth
+from repro.pricing.valuation import (
+    EmpiricalValuation,
+    GaussianValuation,
+    ValuationModel,
+)
+from repro.pricing.price_series import (
+    ExactPriceModel,
+    generate_price_matrix,
+    generate_price_series,
+    prices_from_kde,
+)
+from repro.pricing.adoption import AdoptionEstimator
+
+__all__ = [
+    "AdoptionEstimator",
+    "EmpiricalValuation",
+    "ExactPriceModel",
+    "GaussianKDE",
+    "GaussianValuation",
+    "ValuationModel",
+    "generate_price_matrix",
+    "generate_price_series",
+    "prices_from_kde",
+    "silverman_bandwidth",
+]

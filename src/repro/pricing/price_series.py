@@ -1,0 +1,153 @@
+"""Exact price models and synthetic price-series generation.
+
+The bulk of the paper uses the *exact price model*: ``p(i, t)`` is known for
+every item and every time step of the short horizon (a week of daily prices
+for Amazon).  This module provides
+
+* :class:`ExactPriceModel` -- a thin wrapper around the ``(num_items, T)``
+  price matrix with validation and convenience accessors;
+* generators of realistic synthetic price series (base price plus daily
+  fluctuation plus occasional promotional discounts), used by the Amazon-like
+  dataset simulator, and
+* :func:`prices_from_kde` -- the Epinions recipe: sample ``T`` prices per item
+  from the KDE over reported prices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.pricing.kde import GaussianKDE
+
+__all__ = [
+    "ExactPriceModel",
+    "generate_price_series",
+    "generate_price_matrix",
+    "prices_from_kde",
+]
+
+
+class ExactPriceModel:
+    """Known prices ``p(i, t)`` for every item and time step."""
+
+    def __init__(self, prices: np.ndarray) -> None:
+        prices = np.asarray(prices, dtype=float)
+        if prices.ndim != 2:
+            raise ValueError("prices must be a 2-D (num_items, horizon) array")
+        if np.any(prices < 0.0):
+            raise ValueError("prices must be non-negative")
+        self._prices = prices
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full price matrix (copy)."""
+        return np.array(self._prices, copy=True)
+
+    @property
+    def num_items(self) -> int:
+        """Number of items."""
+        return self._prices.shape[0]
+
+    @property
+    def horizon(self) -> int:
+        """Number of time steps."""
+        return self._prices.shape[1]
+
+    def price(self, item: int, t: int) -> float:
+        """Return ``p(item, t)``."""
+        return float(self._prices[item, t])
+
+    def series(self, item: int) -> np.ndarray:
+        """Return the full price series of ``item``."""
+        return np.array(self._prices[item], copy=True)
+
+    def min_price_time(self, item: int) -> int:
+        """Time step at which the item is cheapest (ties: earliest)."""
+        return int(np.argmin(self._prices[item]))
+
+    def max_price_time(self, item: int) -> int:
+        """Time step at which the item is most expensive (ties: earliest)."""
+        return int(np.argmax(self._prices[item]))
+
+
+def generate_price_series(
+    base_price: float,
+    horizon: int,
+    rng: np.random.Generator,
+    fluctuation: float = 0.05,
+    sale_probability: float = 0.15,
+    sale_depth: float = 0.3,
+) -> np.ndarray:
+    """Generate one item's price series over the horizon.
+
+    The series follows the empirical observations the paper cites (prices on
+    Amazon fluctuate frequently and items periodically go on sale): each day
+    the price wiggles around the base price by a relative ``fluctuation``, and
+    with probability ``sale_probability`` a contiguous sale window starts in
+    which the price is discounted by ``sale_depth``.
+
+    Args:
+        base_price: the item's reference price.
+        horizon: number of time steps.
+        rng: random generator (caller controls reproducibility).
+        fluctuation: relative standard deviation of daily wiggles.
+        sale_probability: probability that the series contains a sale window.
+        sale_depth: relative discount applied during the sale window.
+    """
+    if base_price <= 0:
+        raise ValueError("base_price must be positive")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    noise = rng.normal(0.0, fluctuation, size=horizon)
+    series = base_price * (1.0 + noise)
+    if rng.random() < sale_probability and horizon >= 2:
+        start = int(rng.integers(0, horizon))
+        length = int(rng.integers(1, max(2, horizon // 2)))
+        end = min(horizon, start + length)
+        series[start:end] *= 1.0 - sale_depth
+    return np.clip(series, 0.01 * base_price, None)
+
+
+def generate_price_matrix(
+    base_prices: Sequence[float],
+    horizon: int,
+    rng: Optional[np.random.Generator] = None,
+    fluctuation: float = 0.05,
+    sale_probability: float = 0.15,
+    sale_depth: float = 0.3,
+) -> np.ndarray:
+    """Generate a full ``(num_items, horizon)`` price matrix."""
+    rng = rng or np.random.default_rng()
+    return np.vstack([
+        generate_price_series(
+            float(price), horizon, rng, fluctuation, sale_probability, sale_depth
+        )
+        for price in base_prices
+    ])
+
+
+def prices_from_kde(
+    reported_prices: Dict[int, Sequence[float]],
+    num_items: int,
+    horizon: int,
+    rng: Optional[np.random.Generator] = None,
+    fallback_price: float = 50.0,
+) -> np.ndarray:
+    """Sample a price matrix from per-item KDEs over reported prices.
+
+    This reproduces the Epinions preprocessing of §6.1: fit a Gaussian KDE to
+    each item's reported prices and sample ``T`` values to act as the price
+    series.  Items without reported prices receive a constant
+    ``fallback_price``.
+    """
+    rng = rng or np.random.default_rng()
+    prices = np.full((num_items, horizon), float(fallback_price))
+    for item, reports in reported_prices.items():
+        reports = list(reports)
+        if not reports:
+            continue
+        kde = GaussianKDE(reports)
+        prices[item, :] = kde.sample(horizon, rng=rng)
+    return prices

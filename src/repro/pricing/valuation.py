@@ -1,0 +1,96 @@
+"""Buyer valuation models: ``Pr[val_ui >= p]``.
+
+The paper adopts the independent-private-valuation assumption: each user
+holds a private valuation of an item, drawn from a common per-item
+distribution and independent of other users.  An item is purchasable by the
+user only when the valuation reaches the offered price, so the price-dependent
+part of the adoption probability is the survival function ``Pr[val >= p]``.
+
+Two concrete valuation families are provided:
+
+* :class:`GaussianValuation` -- the Epinions recipe of §6.1: the valuation
+  distribution is the Gaussian implied by the KDE over reported prices
+  (mean = sample mean, variance = bandwidth-inflated sample variance), and the
+  survival function uses the Gauss error function.
+* :class:`EmpiricalValuation` -- survival computed directly from a KDE or any
+  object exposing ``survival``; used when the Gaussian summary is too coarse.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.pricing.kde import GaussianKDE
+
+__all__ = ["ValuationModel", "GaussianValuation", "EmpiricalValuation"]
+
+_SQRT_2 = math.sqrt(2.0)
+
+
+class ValuationModel(ABC):
+    """Abstract valuation distribution of one item."""
+
+    @abstractmethod
+    def acceptance_probability(self, price: float) -> float:
+        """Return ``Pr[val >= price]`` for a user drawn from the population."""
+
+    def acceptance_probabilities(self, prices: Sequence[float]) -> np.ndarray:
+        """Vectorised version of :meth:`acceptance_probability`."""
+        return np.array([self.acceptance_probability(float(p)) for p in prices])
+
+
+class GaussianValuation(ValuationModel):
+    """Gaussian valuation distribution ``val ~ N(mean, std^2)``.
+
+    ``Pr[val >= p] = (1/2) (1 - erf((p - mean) / (sqrt(2) std)))`` -- the
+    formula of §6.1.
+    """
+
+    def __init__(self, mean: float, std: float) -> None:
+        if std <= 0.0:
+            raise ValueError("std must be positive")
+        self._mean = float(mean)
+        self._std = float(std)
+
+    @property
+    def mean(self) -> float:
+        """Mean valuation."""
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of the valuation."""
+        return self._std
+
+    def acceptance_probability(self, price: float) -> float:
+        z = (float(price) - self._mean) / (_SQRT_2 * self._std)
+        return 0.5 * (1.0 - math.erf(z))
+
+    @classmethod
+    def from_reported_prices(cls, prices: Sequence[float],
+                             bandwidth: Optional[float] = None) -> "GaussianValuation":
+        """Fit the valuation from reported prices via the KDE summary of §6.1.
+
+        The paper sets the valuation distribution of item ``i`` to the
+        Gaussian with the KDE's mean and (bandwidth-inflated) variance.
+        """
+        kde = GaussianKDE(prices, bandwidth=bandwidth)
+        return cls(mean=kde.mean, std=math.sqrt(max(kde.variance, 1e-12)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"GaussianValuation(mean={self._mean:.2f}, std={self._std:.2f})"
+
+
+class EmpiricalValuation(ValuationModel):
+    """Valuation model backed by an arbitrary fitted density (e.g. a KDE)."""
+
+    def __init__(self, kde: GaussianKDE) -> None:
+        self._kde = kde
+
+    def acceptance_probability(self, price: float) -> float:
+        value = float(np.atleast_1d(self._kde.survival(price))[0])
+        return min(1.0, max(0.0, value))

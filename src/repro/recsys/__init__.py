@@ -1,0 +1,27 @@
+"""Recommender-system substrate: ratings, matrix factorization, evaluation."""
+
+from repro.recsys.ratings import Rating, RatingsMatrix
+from repro.recsys.mf import MatrixFactorization, MFConfig
+from repro.recsys.evaluation import (
+    CrossValidationResult,
+    cross_validate,
+    evaluate_model,
+    mae,
+    rmse,
+)
+from repro.recsys.topk import Candidate, top_candidates, top_candidates_for_user
+
+__all__ = [
+    "Candidate",
+    "CrossValidationResult",
+    "MFConfig",
+    "MatrixFactorization",
+    "Rating",
+    "RatingsMatrix",
+    "cross_validate",
+    "evaluate_model",
+    "mae",
+    "rmse",
+    "top_candidates",
+    "top_candidates_for_user",
+]

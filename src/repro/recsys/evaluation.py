@@ -1,0 +1,81 @@
+"""Evaluation utilities for the rating-prediction substrate.
+
+The paper reports the accuracy of its MF model as RMSE under five-fold cross
+validation (0.91 on Amazon, 1.04 on Epinions).  This module provides the same
+metrics so the reproduction can report the analogous numbers for its simulated
+datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.recsys.mf import MatrixFactorization, MFConfig
+from repro.recsys.ratings import RatingsMatrix
+
+__all__ = ["rmse", "mae", "evaluate_model", "CrossValidationResult", "cross_validate"]
+
+
+def rmse(predictions: Sequence[float], truths: Sequence[float]) -> float:
+    """Root-mean-squared error between predictions and ground truth."""
+    predictions = np.asarray(predictions, dtype=float)
+    truths = np.asarray(truths, dtype=float)
+    if predictions.shape != truths.shape:
+        raise ValueError("predictions and truths must have the same length")
+    if predictions.size == 0:
+        raise ValueError("cannot compute RMSE of empty arrays")
+    return float(np.sqrt(np.mean((predictions - truths) ** 2)))
+
+
+def mae(predictions: Sequence[float], truths: Sequence[float]) -> float:
+    """Mean absolute error between predictions and ground truth."""
+    predictions = np.asarray(predictions, dtype=float)
+    truths = np.asarray(truths, dtype=float)
+    if predictions.shape != truths.shape:
+        raise ValueError("predictions and truths must have the same length")
+    if predictions.size == 0:
+        raise ValueError("cannot compute MAE of empty arrays")
+    return float(np.mean(np.abs(predictions - truths)))
+
+
+def evaluate_model(model: MatrixFactorization, test: RatingsMatrix) -> float:
+    """Return the RMSE of a fitted model on a held-out ratings matrix."""
+    predictions = []
+    truths = []
+    for rating in test:
+        predictions.append(model.predict(rating.user, rating.item))
+        truths.append(rating.value)
+    return rmse(predictions, truths)
+
+
+@dataclass
+class CrossValidationResult:
+    """Per-fold and aggregate RMSE of a cross-validation run."""
+
+    fold_rmse: List[float]
+
+    @property
+    def mean_rmse(self) -> float:
+        """Mean RMSE across folds."""
+        return float(np.mean(self.fold_rmse))
+
+    @property
+    def std_rmse(self) -> float:
+        """Standard deviation of the per-fold RMSE."""
+        if len(self.fold_rmse) < 2:
+            return 0.0
+        return float(np.std(self.fold_rmse, ddof=1))
+
+
+def cross_validate(ratings: RatingsMatrix, config: Optional[MFConfig] = None,
+                   num_folds: int = 5, seed: Optional[int] = 0
+                   ) -> CrossValidationResult:
+    """K-fold cross-validation of the MF model (the paper uses five folds)."""
+    fold_rmse = []
+    for train, test in ratings.k_folds(num_folds, seed=seed):
+        model = MatrixFactorization(config).fit(train)
+        fold_rmse.append(evaluate_model(model, test))
+    return CrossValidationResult(fold_rmse=fold_rmse)

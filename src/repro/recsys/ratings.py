@@ -1,0 +1,206 @@
+"""Sparse user-item ratings storage.
+
+The paper's pipeline starts from a classical ratings dataset: users rate a
+small fraction of the items, a matrix-factorization model is trained on the
+observed ratings, and the predicted ratings of unobserved pairs drive the
+adoption-probability model.  :class:`RatingsMatrix` is the minimal sparse
+container that pipeline needs: a list of (user, item, rating) observations
+with indices by user and by item, plus train/test splitting utilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Rating", "RatingsMatrix"]
+
+
+@dataclass(frozen=True)
+class Rating:
+    """A single observed rating."""
+
+    user: int
+    item: int
+    value: float
+
+
+class RatingsMatrix:
+    """A sparse collection of explicit ratings.
+
+    Args:
+        num_users: total number of users (ids ``0 .. num_users - 1``).
+        num_items: total number of items.
+        rating_scale: inclusive (min, max) rating values; used for clipping
+            predictions and normalising predicted ratings into adoption
+            probabilities (the ``r_max`` of §6).
+    """
+
+    def __init__(self, num_users: int, num_items: int,
+                 rating_scale: Tuple[float, float] = (1.0, 5.0)) -> None:
+        if num_users <= 0 or num_items <= 0:
+            raise ValueError("num_users and num_items must be positive")
+        if rating_scale[0] >= rating_scale[1]:
+            raise ValueError("rating_scale must be (min, max) with min < max")
+        self._num_users = num_users
+        self._num_items = num_items
+        self._scale = (float(rating_scale[0]), float(rating_scale[1]))
+        self._ratings: List[Rating] = []
+        self._by_user: Dict[int, List[int]] = {}
+        self._by_item: Dict[int, List[int]] = {}
+        self._pairs: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_users(self) -> int:
+        """Number of users."""
+        return self._num_users
+
+    @property
+    def num_items(self) -> int:
+        """Number of items."""
+        return self._num_items
+
+    @property
+    def rating_scale(self) -> Tuple[float, float]:
+        """The (min, max) rating scale."""
+        return self._scale
+
+    @property
+    def max_rating(self) -> float:
+        """The maximum rating ``r_max`` allowed by the system."""
+        return self._scale[1]
+
+    def __len__(self) -> int:
+        return len(self._ratings)
+
+    def __iter__(self) -> Iterator[Rating]:
+        return iter(self._ratings)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, user: int, item: int, value: float) -> None:
+        """Record a rating; re-rating a pair overwrites the previous value."""
+        if not (0 <= user < self._num_users):
+            raise ValueError(f"user id out of range: {user}")
+        if not (0 <= item < self._num_items):
+            raise ValueError(f"item id out of range: {item}")
+        if not (self._scale[0] <= value <= self._scale[1]):
+            raise ValueError(
+                f"rating {value} outside scale {self._scale[0]}..{self._scale[1]}"
+            )
+        key = (user, item)
+        if key in self._pairs:
+            index = self._pairs[key]
+            self._ratings[index] = Rating(user, item, float(value))
+            return
+        index = len(self._ratings)
+        self._ratings.append(Rating(user, item, float(value)))
+        self._pairs[key] = index
+        self._by_user.setdefault(user, []).append(index)
+        self._by_item.setdefault(item, []).append(index)
+
+    def add_many(self, ratings: Iterable[Tuple[int, int, float]]) -> None:
+        """Record many ``(user, item, value)`` ratings."""
+        for user, item, value in ratings:
+            self.add(user, item, value)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, user: int, item: int) -> Optional[float]:
+        """Return the rating of ``(user, item)`` or ``None`` if unobserved."""
+        index = self._pairs.get((user, item))
+        if index is None:
+            return None
+        return self._ratings[index].value
+
+    def user_ratings(self, user: int) -> List[Rating]:
+        """Return every rating given by ``user``."""
+        return [self._ratings[i] for i in self._by_user.get(user, [])]
+
+    def item_ratings(self, item: int) -> List[Rating]:
+        """Return every rating received by ``item``."""
+        return [self._ratings[i] for i in self._by_item.get(item, [])]
+
+    def item_rating_counts(self) -> Dict[int, int]:
+        """Return ``item -> number of ratings`` (used for popularity filters)."""
+        return {item: len(indices) for item, indices in self._by_item.items()}
+
+    def rated_items(self, user: int) -> List[int]:
+        """Return the items ``user`` has rated."""
+        return [self._ratings[i].item for i in self._by_user.get(user, [])]
+
+    def density(self) -> float:
+        """Fraction of the full user-item matrix that is observed."""
+        return len(self._ratings) / float(self._num_users * self._num_items)
+
+    def global_mean(self) -> float:
+        """Mean of all observed ratings (0 if the matrix is empty)."""
+        if not self._ratings:
+            return 0.0
+        return float(np.mean([r.value for r in self._ratings]))
+
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return parallel arrays (users, items, values) of the observations."""
+        users = np.array([r.user for r in self._ratings], dtype=int)
+        items = np.array([r.item for r in self._ratings], dtype=int)
+        values = np.array([r.value for r in self._ratings], dtype=float)
+        return users, items, values
+
+    # ------------------------------------------------------------------
+    # dataset manipulation
+    # ------------------------------------------------------------------
+    def filter_items_with_min_ratings(self, min_ratings: int) -> "RatingsMatrix":
+        """Return a copy keeping only items with at least ``min_ratings`` ratings.
+
+        This mirrors the paper's preprocessing ("items with fewer than 10
+        ratings are filtered out").  Item ids are preserved (not re-indexed).
+        """
+        counts = self.item_rating_counts()
+        keep = {item for item, count in counts.items() if count >= min_ratings}
+        filtered = RatingsMatrix(self._num_users, self._num_items, self._scale)
+        for rating in self._ratings:
+            if rating.item in keep:
+                filtered.add(rating.user, rating.item, rating.value)
+        return filtered
+
+    def split(self, test_fraction: float, seed: Optional[int] = 0
+              ) -> Tuple["RatingsMatrix", "RatingsMatrix"]:
+        """Randomly split observations into train / test matrices."""
+        if not (0.0 < test_fraction < 1.0):
+            raise ValueError("test_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        indices = rng.permutation(len(self._ratings))
+        cut = int(round(len(indices) * test_fraction))
+        test_indices = set(indices[:cut].tolist())
+        train = RatingsMatrix(self._num_users, self._num_items, self._scale)
+        test = RatingsMatrix(self._num_users, self._num_items, self._scale)
+        for index, rating in enumerate(self._ratings):
+            target = test if index in test_indices else train
+            target.add(rating.user, rating.item, rating.value)
+        return train, test
+
+    def k_folds(self, k: int, seed: Optional[int] = 0
+                ) -> List[Tuple["RatingsMatrix", "RatingsMatrix"]]:
+        """Return ``k`` (train, test) folds for cross-validation."""
+        if k < 2:
+            raise ValueError("k must be at least 2")
+        rng = np.random.default_rng(seed)
+        indices = rng.permutation(len(self._ratings))
+        folds = np.array_split(indices, k)
+        result = []
+        for fold in folds:
+            fold_set = set(fold.tolist())
+            train = RatingsMatrix(self._num_users, self._num_items, self._scale)
+            test = RatingsMatrix(self._num_users, self._num_items, self._scale)
+            for index, rating in enumerate(self._ratings):
+                target = test if index in fold_set else train
+                target.add(rating.user, rating.item, rating.value)
+            result.append((train, test))
+        return result

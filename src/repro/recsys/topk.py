@@ -1,0 +1,93 @@
+"""Per-user top-N candidate selection from predicted ratings.
+
+§6.1 of the paper: "for all users we select 100 items with the highest
+predicted ratings and compute primitive adoption probabilities (if the rating
+is too low, the item is deemed to be of little interest)".  This module
+implements that candidate-selection step: for every user, rank unrated items
+by predicted rating, keep the best ``N`` whose prediction clears an optional
+threshold, and hand the resulting (user, item, predicted rating) candidates to
+the adoption-probability estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.recsys.mf import MatrixFactorization
+from repro.recsys.ratings import RatingsMatrix
+
+__all__ = ["Candidate", "top_candidates_for_user", "top_candidates"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A candidate recommendation produced by the rating model.
+
+    Attributes:
+        user: the target user.
+        item: the candidate item.
+        predicted_rating: the model's predicted rating for the pair.
+    """
+
+    user: int
+    item: int
+    predicted_rating: float
+
+
+def top_candidates_for_user(
+    model: MatrixFactorization,
+    ratings: RatingsMatrix,
+    user: int,
+    num_candidates: int,
+    min_predicted_rating: float = 0.0,
+    exclude_rated: bool = True,
+) -> List[Candidate]:
+    """Return the top-``num_candidates`` items for one user.
+
+    Args:
+        model: a fitted rating-prediction model.
+        ratings: the observed ratings (used to exclude already-rated items).
+        user: the target user.
+        num_candidates: how many candidates to keep (the paper uses 100).
+        min_predicted_rating: candidates below this prediction are dropped.
+        exclude_rated: skip items the user has already rated.
+    """
+    if num_candidates <= 0:
+        raise ValueError("num_candidates must be positive")
+    already_rated = set(ratings.rated_items(user)) if exclude_rated else set()
+    all_items = np.arange(ratings.num_items)
+    predictions = model.predict_for_user(user, all_items)
+    order = np.argsort(-predictions, kind="stable")
+    result: List[Candidate] = []
+    for index in order:
+        item = int(all_items[index])
+        if item in already_rated:
+            continue
+        prediction = float(predictions[index])
+        if prediction < min_predicted_rating:
+            break
+        result.append(Candidate(user=user, item=item, predicted_rating=prediction))
+        if len(result) >= num_candidates:
+            break
+    return result
+
+
+def top_candidates(
+    model: MatrixFactorization,
+    ratings: RatingsMatrix,
+    num_candidates: int,
+    min_predicted_rating: float = 0.0,
+    users: Optional[Sequence[int]] = None,
+) -> Dict[int, List[Candidate]]:
+    """Return the top candidates for every user (or for the given users)."""
+    if users is None:
+        users = range(ratings.num_users)
+    return {
+        user: top_candidates_for_user(
+            model, ratings, user, num_candidates, min_predicted_rating
+        )
+        for user in users
+    }

@@ -1,0 +1,23 @@
+"""Stochastic oracles and simulators.
+
+* :mod:`repro.simulation.capacity_oracle` -- exact (Poisson-binomial dynamic
+  programming) and Monte-Carlo estimators of the capacity factor
+  ``B_S(i, t)`` used by the relaxed R-REVMAX objective (Definition 4).
+* :mod:`repro.simulation.adoption_sim` -- a Monte-Carlo simulator of the
+  adoption process induced by a strategy, used to validate that the
+  closed-form expected revenue ``Rev(S)`` matches simulated revenue.
+"""
+
+from repro.simulation.capacity_oracle import (
+    MonteCarloCapacityOracle,
+    PoissonBinomialCapacityOracle,
+    poisson_binomial_at_most,
+)
+from repro.simulation.adoption_sim import AdoptionSimulator
+
+__all__ = [
+    "MonteCarloCapacityOracle",
+    "PoissonBinomialCapacityOracle",
+    "poisson_binomial_at_most",
+    "AdoptionSimulator",
+]

@@ -1,0 +1,134 @@
+"""Monte-Carlo simulation of the adoption process induced by a strategy.
+
+Definition 1 of the paper admits the following generative reading for a fixed
+user ``u`` and item class ``c``:
+
+* every recommended triple ``(u, j, tau)`` is independently *desired* with its
+  primitive probability ``q(u, j, tau)``;
+* a desired triple additionally survives a saturation thinning with
+  probability ``beta_j ** M_S(u, j, tau)``;
+* the triple ``(u, i, t)`` results in an adoption exactly when it is desired,
+  survives thinning, and no *competing* triple -- same class, strictly earlier
+  time, or same time but a different item -- was desired.
+
+Under this process the probability of the adoption event equals
+``q_S(u, i, t)`` exactly, so the sample mean of the realised revenue is an
+unbiased estimator of ``Rev(S)``.  The simulator is used in tests and in the
+experiment harness as an end-to-end validation of the closed-form revenue
+computation, and to report realised (as opposed to expected) adoption counts
+per item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.entities import Triple
+from repro.core.problem import RevMaxInstance
+from repro.core.revenue import memory_term
+from repro.core.strategy import Strategy
+
+__all__ = ["SimulationResult", "AdoptionSimulator"]
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate output of a batch of adoption simulations.
+
+    Attributes:
+        num_runs: number of independent simulated horizons.
+        mean_revenue: average realised revenue across runs.
+        std_revenue: standard deviation of realised revenue across runs.
+        mean_adoptions: average number of adoptions per run.
+        item_adoption_counts: total adoptions per item across all runs.
+    """
+
+    num_runs: int
+    mean_revenue: float
+    std_revenue: float
+    mean_adoptions: float
+    item_adoption_counts: Dict[int, int]
+
+    def revenue_confidence_halfwidth(self) -> float:
+        """Half-width of a ~95% normal confidence interval for the mean."""
+        if self.num_runs <= 1:
+            return float("inf")
+        return 1.96 * self.std_revenue / np.sqrt(self.num_runs)
+
+
+class AdoptionSimulator:
+    """Simulate user adoptions under a recommendation strategy.
+
+    Args:
+        instance: the REVMAX instance providing probabilities and prices.
+        seed: seed for the random generator (simulations are reproducible).
+    """
+
+    def __init__(self, instance: RevMaxInstance, seed: Optional[int] = 0) -> None:
+        self._instance = instance
+        self._rng = np.random.default_rng(seed)
+
+    def simulate_once(self, strategy: Strategy) -> Tuple[float, List[Triple]]:
+        """Simulate a single horizon.
+
+        Returns:
+            ``(revenue, adopted_triples)`` for one realisation of the process.
+        """
+        instance = self._instance
+        revenue = 0.0
+        adopted: List[Triple] = []
+        for (_, _), group in strategy.groups():
+            ordered = sorted(group, key=lambda z: (z.t, z.item))
+            desires = {
+                triple: bool(
+                    self._rng.random()
+                    < instance.probability(triple.user, triple.item, triple.t)
+                )
+                for triple in ordered
+            }
+            for triple in ordered:
+                if not desires[triple]:
+                    continue
+                blocked = any(
+                    desires[other]
+                    and (
+                        other.t < triple.t
+                        or (other.t == triple.t and other.item != triple.item)
+                    )
+                    for other in ordered
+                    if other != triple
+                )
+                if blocked:
+                    continue
+                memory = memory_term(group, triple.t)
+                keep_probability = (
+                    instance.beta(triple.item) ** memory if memory > 0.0 else 1.0
+                )
+                if self._rng.random() < keep_probability:
+                    revenue += instance.price(triple.item, triple.t)
+                    adopted.append(triple)
+        return revenue, adopted
+
+    def run(self, strategy: Strategy, num_runs: int = 200) -> SimulationResult:
+        """Simulate ``num_runs`` independent horizons and aggregate results."""
+        if num_runs <= 0:
+            raise ValueError("num_runs must be positive")
+        revenues = np.zeros(num_runs)
+        adoption_totals = np.zeros(num_runs)
+        item_counts: Dict[int, int] = {}
+        for run in range(num_runs):
+            revenue, adopted = self.simulate_once(strategy)
+            revenues[run] = revenue
+            adoption_totals[run] = len(adopted)
+            for triple in adopted:
+                item_counts[triple.item] = item_counts.get(triple.item, 0) + 1
+        return SimulationResult(
+            num_runs=num_runs,
+            mean_revenue=float(np.mean(revenues)),
+            std_revenue=float(np.std(revenues, ddof=1)) if num_runs > 1 else 0.0,
+            mean_adoptions=float(np.mean(adoption_totals)),
+            item_adoption_counts=item_counts,
+        )

@@ -1,0 +1,98 @@
+"""Oracles for the capacity factor ``B_S(i, t)`` of R-REVMAX (Definition 4).
+
+``B_S(i, t)`` is the probability that *at most* ``q_i - 1`` of the users that
+item ``i`` was recommended to before (or at) time ``t`` -- other than the
+target user -- actually adopt it.  With independent per-user adoption events,
+the number of adopters follows a Poisson-binomial distribution, whose tail can
+be computed exactly by dynamic programming in ``O(m * q_i)`` time for ``m``
+competing users, or estimated by Monte-Carlo sampling when ``m`` is large.
+
+The paper leaves the oracle abstract ("given an oracle for estimating or
+computing probability"); both implementations below satisfy that contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "poisson_binomial_at_most",
+    "PoissonBinomialCapacityOracle",
+    "MonteCarloCapacityOracle",
+]
+
+
+def poisson_binomial_at_most(probabilities: Sequence[float], threshold: int) -> float:
+    """Exact ``Pr[X <= threshold]`` for ``X = sum of independent Bernoullis``.
+
+    Args:
+        probabilities: success probability of each independent Bernoulli trial.
+        threshold: the inclusive upper bound on the number of successes.
+
+    Returns:
+        The cumulative probability.  ``threshold < 0`` returns 0.0 and a
+        threshold at least as large as the number of trials returns 1.0.
+    """
+    probabilities = [float(p) for p in probabilities]
+    if any(p < 0.0 or p > 1.0 for p in probabilities):
+        raise ValueError("probabilities must lie in [0, 1]")
+    if threshold < 0:
+        return 0.0
+    count = len(probabilities)
+    if threshold >= count:
+        return 1.0
+    # dp[j] = probability of exactly j successes among the trials seen so far,
+    # with index threshold + 1 acting as an absorbing "too many" state.
+    dp = np.zeros(threshold + 2)
+    dp[0] = 1.0
+    for p in probabilities:
+        new = np.zeros_like(dp)
+        for j in range(threshold + 1):
+            new[j] += dp[j] * (1.0 - p)
+            new[j + 1] += dp[j] * p
+        new[threshold + 1] += dp[threshold + 1]
+        dp = new
+    return float(np.sum(dp[: threshold + 1]))
+
+
+class PoissonBinomialCapacityOracle:
+    """Exact capacity oracle based on the Poisson-binomial DP."""
+
+    def at_most(self, probabilities: Sequence[float], threshold: int) -> float:
+        """Return ``Pr[number of adopters <= threshold]`` exactly."""
+        return poisson_binomial_at_most(probabilities, threshold)
+
+
+class MonteCarloCapacityOracle:
+    """Monte-Carlo capacity oracle for large competing-user sets.
+
+    Args:
+        num_samples: number of Bernoulli-vector samples per query.
+        seed: seed of the internal random generator (for reproducibility).
+    """
+
+    def __init__(self, num_samples: int = 2000, seed: Optional[int] = 0) -> None:
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        self._num_samples = num_samples
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples drawn per query."""
+        return self._num_samples
+
+    def at_most(self, probabilities: Sequence[float], threshold: int) -> float:
+        """Estimate ``Pr[number of adopters <= threshold]`` by sampling."""
+        probabilities = np.asarray(list(probabilities), dtype=float)
+        if probabilities.size == 0:
+            return 1.0 if threshold >= 0 else 0.0
+        if threshold < 0:
+            return 0.0
+        if threshold >= probabilities.size:
+            return 1.0
+        draws = self._rng.random((self._num_samples, probabilities.size))
+        successes = (draws < probabilities[None, :]).sum(axis=1)
+        return float(np.mean(successes <= threshold))

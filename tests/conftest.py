@@ -1,0 +1,98 @@
+"""Shared fixtures for the test suite.
+
+Fixtures provide a ladder of instance sizes:
+
+* ``paper_example_instance`` -- the two-triple instance from the proof of
+  Theorem 2 / Example 4 (used to check non-monotonicity and SL- vs RL-Greedy);
+* ``small_instance`` -- a deterministic hand-built instance small enough for
+  brute-force comparisons;
+* ``random_instance_factory`` -- parameterised random instances for
+  property-based tests;
+* ``tiny_amazon_pipeline`` / ``tiny_epinions_pipeline`` -- full §6.1 pipelines
+  at the smallest reproduction scale (session-scoped: built once).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import RevMaxInstance
+from repro.experiments.harness import prepare_dataset
+
+
+@pytest.fixture
+def paper_example_instance() -> RevMaxInstance:
+    """The instance used in the paper's non-monotonicity proof (Theorem 2).
+
+    One user, one item, T = 2, k = 1, capacity 2, q(u,i,1) = 0.5,
+    q(u,i,2) = 0.6, p(i,1) = 1, p(i,2) = 0.95, beta = 0.1.
+    """
+    return RevMaxInstance.from_dense_adoption(
+        prices=np.array([[1.0, 0.95]]),
+        adoption={(0, 0): [0.5, 0.6]},
+        item_class=[0],
+        capacities=2,
+        betas=0.1,
+        display_limit=1,
+        num_users=1,
+        name="paper-example",
+    )
+
+
+def build_random_instance(
+    num_users: int = 5,
+    num_items: int = 4,
+    num_classes: int = 2,
+    horizon: int = 3,
+    display_limit: int = 2,
+    capacity: int = 3,
+    beta: float = 0.5,
+    density: float = 0.7,
+    seed: int = 0,
+) -> RevMaxInstance:
+    """Build a random REVMAX instance (deterministic given the seed)."""
+    rng = np.random.default_rng(seed)
+    prices = rng.uniform(5.0, 100.0, size=(num_items, horizon))
+    adoption = {}
+    for user in range(num_users):
+        for item in range(num_items):
+            if rng.random() < density:
+                adoption[(user, item)] = rng.uniform(0.05, 0.95, size=horizon).tolist()
+    if not adoption:
+        adoption[(0, 0)] = rng.uniform(0.05, 0.95, size=horizon).tolist()
+    item_class = [item % num_classes for item in range(num_items)]
+    return RevMaxInstance.from_dense_adoption(
+        prices=prices,
+        adoption=adoption,
+        item_class=item_class,
+        capacities=capacity,
+        betas=beta,
+        display_limit=display_limit,
+        num_users=num_users,
+        name=f"random-{seed}",
+    )
+
+
+@pytest.fixture
+def small_instance() -> RevMaxInstance:
+    """A small deterministic instance used across algorithm tests."""
+    return build_random_instance(seed=42)
+
+
+@pytest.fixture
+def random_instance_factory():
+    """Factory fixture so tests can build many random instances cheaply."""
+    return build_random_instance
+
+
+@pytest.fixture(scope="session")
+def tiny_amazon_pipeline():
+    """The Amazon-like dataset run through the full pipeline (tiny scale)."""
+    return prepare_dataset("amazon", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_epinions_pipeline():
+    """The Epinions-like dataset run through the full pipeline (tiny scale)."""
+    return prepare_dataset("epinions", scale="tiny", seed=0)

@@ -1,0 +1,101 @@
+"""Tests for the TopRA and TopRE baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.baselines import TopRatingBaseline, TopRevenueBaseline
+from repro.algorithms.global_greedy import GlobalGreedy
+from repro.core.constraints import ConstraintChecker
+from repro.core.problem import RevMaxInstance
+
+from tests.conftest import build_random_instance
+
+
+@pytest.fixture
+def preference_instance():
+    """Two items where ratings and revenue disagree.
+
+    Item 0: loved (high adoption proxy) but cheap.
+    Item 1: liked less but expensive, so higher expected revenue.
+    """
+    return RevMaxInstance.from_dense_adoption(
+        prices=np.array([[5.0, 5.0], [100.0, 100.0]]),
+        adoption={
+            (0, 0): [0.9, 0.9],
+            (0, 1): [0.4, 0.4],
+            (1, 0): [0.8, 0.8],
+            (1, 1): [0.3, 0.3],
+        },
+        item_class=[0, 1],
+        capacities=5,
+        betas=1.0,
+        display_limit=1,
+        num_users=2,
+    )
+
+
+class TestTopRevenueBaseline:
+    def test_output_is_valid(self, small_instance):
+        result = TopRevenueBaseline().run(small_instance)
+        ConstraintChecker(small_instance).check(result.strategy)
+        assert result.revenue > 0
+
+    def test_picks_highest_expected_revenue_items(self, preference_instance):
+        result = TopRevenueBaseline().run(preference_instance)
+        chosen_items = {triple.item for triple in result.strategy}
+        # 100 * 0.4 = 40 beats 5 * 0.9 = 4.5 for both users.
+        assert chosen_items == {1}
+
+    def test_repeats_items_over_horizon(self, preference_instance):
+        result = TopRevenueBaseline().run(preference_instance)
+        repeats = result.strategy.repeat_counts()
+        assert all(count == preference_instance.horizon for count in repeats.values())
+
+    def test_respects_capacity(self):
+        instance = build_random_instance(
+            num_users=6, num_items=2, num_classes=2, horizon=2,
+            display_limit=1, capacity=2, density=1.0, seed=1,
+        )
+        result = TopRevenueBaseline().run(instance)
+        for item in range(instance.num_items):
+            assert result.strategy.item_audience_size(item) <= instance.capacity(item)
+
+
+class TestTopRatingBaseline:
+    def test_output_is_valid(self, small_instance):
+        result = TopRatingBaseline().run(small_instance)
+        ConstraintChecker(small_instance).check(result.strategy)
+
+    def test_uses_predicted_ratings_when_available(self, preference_instance):
+        ratings = {(0, 0): 5.0, (0, 1): 2.0, (1, 0): 5.0, (1, 1): 2.0}
+        result = TopRatingBaseline(predicted_ratings=ratings).run(preference_instance)
+        chosen_items = {triple.item for triple in result.strategy}
+        # Ratings favour item 0 even though it earns less.
+        assert chosen_items == {0}
+        assert result.extras["uses_predicted_ratings"] is True
+
+    def test_falls_back_to_adoption_proxy(self, preference_instance):
+        result = TopRatingBaseline().run(preference_instance)
+        chosen_items = {triple.item for triple in result.strategy}
+        # Mean adoption probability also favours item 0.
+        assert chosen_items == {0}
+        assert result.extras["uses_predicted_ratings"] is False
+
+
+class TestBaselinesVsGreedy:
+    def test_greedy_beats_baselines(self, tiny_amazon_pipeline):
+        """The paper's headline: greedy algorithms outperform TopRE and TopRA."""
+        instance = tiny_amazon_pipeline.instance
+        greedy = GlobalGreedy().run(instance).revenue
+        top_revenue = TopRevenueBaseline().run(instance).revenue
+        top_rating = TopRatingBaseline().run(instance).revenue
+        assert greedy > top_revenue
+        assert greedy > top_rating
+
+    def test_revenue_aware_baseline_beats_rating_baseline(self, tiny_amazon_pipeline):
+        instance = tiny_amazon_pipeline.instance
+        top_revenue = TopRevenueBaseline().run(instance).revenue
+        top_rating = TopRatingBaseline().run(instance).revenue
+        assert top_revenue >= top_rating

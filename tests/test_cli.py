@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.command == "solve"
+        assert args.dataset == "amazon"
+        assert args.algorithm == "gg"
+        assert args.scale == "tiny"
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--algorithm", "magic"])
+
+    def test_invalid_exhibit_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exhibit", "figure99"])
+
+
+class TestSolveCommand:
+    def test_solve_prints_summary(self, capsys):
+        exit_code = main(["solve", "--dataset", "amazon", "--scale", "tiny",
+                          "--algorithm", "gg"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "G-Greedy" in captured.out
+        assert "revenue" in captured.out
+
+    def test_solve_each_algorithm_key(self, capsys):
+        for key, expected in [("slg", "SL-Greedy"), ("topre", "TopRE"),
+                              ("topra", "TopRA")]:
+            exit_code = main(["solve", "--scale", "tiny", "--algorithm", key])
+            captured = capsys.readouterr()
+            assert exit_code == 0
+            assert expected in captured.out
+
+    def test_solve_writes_artifacts(self, tmp_path, capsys):
+        result_path = tmp_path / "result.json"
+        instance_path = tmp_path / "instance.json"
+        exit_code = main([
+            "solve", "--scale", "tiny", "--algorithm", "gg",
+            "--save-result", str(result_path),
+            "--save-instance", str(instance_path),
+        ])
+        assert exit_code == 0
+        assert result_path.exists()
+        assert instance_path.exists()
+        with result_path.open() as handle:
+            document = json.load(handle)
+        assert document["algorithm"] == "G-Greedy"
+        with instance_path.open() as handle:
+            instance_document = json.load(handle)
+        assert instance_document["kind"] == "revmax-instance"
+
+
+class TestCompareCommand:
+    def test_compare_prints_all_algorithms(self, capsys):
+        exit_code = main(["compare", "--dataset", "amazon", "--scale", "tiny",
+                          "--permutations", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for name in ("G-Greedy", "GlobalNo", "RL-Greedy", "SL-Greedy",
+                     "TopRE", "TopRA"):
+            assert name in captured.out
+
+
+class TestExhibitCommand:
+    def test_exhibit_table1(self, capsys):
+        exit_code = main(["exhibit", "table1", "--scale", "tiny"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "#Triples with positive q" in captured.out
+
+    def test_exhibit_theory(self, capsys):
+        exit_code = main(["exhibit", "theory"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Exact Max-DCS" in captured.out

@@ -1,0 +1,119 @@
+"""Tests for the display and capacity constraints."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import (
+    CapacityConstraint,
+    ConstraintChecker,
+    DisplayConstraint,
+)
+from repro.core.entities import Triple
+from repro.core.problem import RevMaxInstance
+from repro.core.strategy import Strategy
+
+
+@pytest.fixture
+def instance():
+    """Three users, two same-class items, k = 1, capacity 2."""
+    return RevMaxInstance.from_dense_adoption(
+        prices=np.full((2, 3), 10.0),
+        adoption={
+            (u, i): [0.5, 0.5, 0.5] for u in range(3) for i in range(2)
+        },
+        item_class=[0, 0],
+        capacities=2,
+        betas=0.5,
+        display_limit=1,
+        num_users=3,
+    )
+
+
+class TestDisplayConstraint:
+    def test_can_add_under_limit(self, instance):
+        constraint = DisplayConstraint(instance)
+        strategy = Strategy(instance.catalog)
+        assert constraint.can_add(strategy, Triple(0, 0, 0))
+
+    def test_cannot_exceed_limit(self, instance):
+        constraint = DisplayConstraint(instance)
+        strategy = Strategy(instance.catalog, [Triple(0, 0, 0)])
+        assert not constraint.can_add(strategy, Triple(0, 1, 0))
+        # Different time step is fine.
+        assert constraint.can_add(strategy, Triple(0, 1, 1))
+
+    def test_violations_reported(self, instance):
+        constraint = DisplayConstraint(instance)
+        strategy = Strategy(instance.catalog, [Triple(0, 0, 0), Triple(0, 1, 0)])
+        violations = constraint.violations(strategy)
+        assert len(violations) == 1
+        assert violations[0].kind == "display"
+        assert violations[0].subject == (0, 0)
+        assert violations[0].observed == 2
+        assert violations[0].limit == 1
+
+
+class TestCapacityConstraint:
+    def test_distinct_users_counted(self, instance):
+        constraint = CapacityConstraint(instance)
+        strategy = Strategy(instance.catalog, [Triple(0, 0, 0), Triple(1, 0, 1)])
+        # capacity 2 reached with two distinct users
+        assert not constraint.can_add(strategy, Triple(2, 0, 2))
+
+    def test_repeat_to_same_user_allowed(self, instance):
+        constraint = CapacityConstraint(instance)
+        strategy = Strategy(instance.catalog, [Triple(0, 0, 0), Triple(1, 0, 1)])
+        # user 0 is already in the audience, so a repeat is fine.
+        assert constraint.can_add(strategy, Triple(0, 0, 2))
+
+    def test_violations_reported(self, instance):
+        constraint = CapacityConstraint(instance)
+        strategy = Strategy(instance.catalog, [
+            Triple(0, 0, 0), Triple(1, 0, 1), Triple(2, 0, 2),
+        ])
+        violations = constraint.violations(strategy)
+        assert len(violations) == 1
+        assert violations[0].kind == "capacity"
+        assert violations[0].subject == (0,)
+        assert violations[0].observed == 3
+
+
+class TestConstraintChecker:
+    def test_valid_strategy_passes(self, instance):
+        checker = ConstraintChecker(instance)
+        strategy = Strategy(instance.catalog, [Triple(0, 0, 0), Triple(1, 1, 0)])
+        assert checker.is_valid(strategy)
+        checker.check(strategy)  # should not raise
+
+    def test_invalid_strategy_raises_with_message(self, instance):
+        checker = ConstraintChecker(instance)
+        strategy = Strategy(instance.catalog, [Triple(0, 0, 0), Triple(0, 1, 0)])
+        assert not checker.is_valid(strategy)
+        with pytest.raises(ValueError, match="display"):
+            checker.check(strategy)
+
+    def test_can_add_combines_both_constraints(self, instance):
+        checker = ConstraintChecker(instance)
+        strategy = Strategy(instance.catalog, [Triple(0, 0, 0), Triple(1, 0, 0)])
+        # display: slot (2, 0) free; capacity: item 0 full for new users.
+        assert not checker.can_add(strategy, Triple(2, 0, 0))
+        assert checker.can_add(strategy, Triple(2, 1, 0))
+
+    def test_capacity_enforcement_can_be_disabled(self, instance):
+        checker = ConstraintChecker(instance, enforce_capacity=False)
+        strategy = Strategy(instance.catalog, [Triple(0, 0, 0), Triple(1, 0, 0)])
+        # Without capacity, only the display constraint applies.
+        assert checker.can_add(strategy, Triple(2, 0, 0))
+        over_capacity = Strategy(instance.catalog, [
+            Triple(0, 0, 0), Triple(1, 0, 0), Triple(2, 0, 0),
+        ])
+        assert checker.is_valid(over_capacity)
+
+    def test_violation_str(self, instance):
+        checker = ConstraintChecker(instance)
+        strategy = Strategy(instance.catalog, [Triple(0, 0, 0), Triple(0, 1, 0)])
+        violation = checker.violations(strategy)[0]
+        assert "display" in str(violation)
+        assert "2 > 1" in str(violation)

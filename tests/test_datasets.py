@@ -1,0 +1,231 @@
+"""Tests for dataset simulators, capacity/beta samplers and Table-1 statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.entities import ItemCatalog
+from repro.datasets.amazon_like import AmazonLikeConfig, generate_amazon_like
+from repro.datasets.capacities import (
+    CAPACITY_DISTRIBUTIONS,
+    sample_betas,
+    sample_capacities,
+)
+from repro.datasets.epinions_like import EpinionsLikeConfig, generate_epinions_like
+from repro.datasets.schema import MarketDataset
+from repro.datasets.statistics import dataset_statistics, format_table1
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_instance
+from repro.recsys.ratings import RatingsMatrix
+
+
+class TestMarketDatasetSchema:
+    def _ratings(self, num_users=4, num_items=3):
+        ratings = RatingsMatrix(num_users, num_items)
+        ratings.add(0, 0, 4.0)
+        return ratings
+
+    def test_needs_some_price_source(self):
+        with pytest.raises(ValueError):
+            MarketDataset(
+                name="broken",
+                ratings=self._ratings(),
+                catalog=ItemCatalog.singleton(3),
+                horizon=2,
+            )
+
+    def test_price_shape_validated(self):
+        with pytest.raises(ValueError):
+            MarketDataset(
+                name="broken",
+                ratings=self._ratings(),
+                catalog=ItemCatalog.singleton(3),
+                horizon=2,
+                prices=np.ones((3, 5)),
+            )
+
+    def test_catalog_item_count_must_match(self):
+        with pytest.raises(ValueError):
+            MarketDataset(
+                name="broken",
+                ratings=self._ratings(num_items=3),
+                catalog=ItemCatalog.singleton(4),
+                horizon=2,
+                prices=np.ones((4, 2)),
+            )
+
+    def test_valid_dataset_properties(self):
+        dataset = MarketDataset(
+            name="ok",
+            ratings=self._ratings(),
+            catalog=ItemCatalog.singleton(3),
+            horizon=2,
+            prices=np.ones((3, 2)),
+            item_names={0: "kindle"},
+        )
+        assert dataset.num_users == 4
+        assert dataset.num_items == 3
+        assert dataset.num_ratings == 1
+        assert dataset.has_exact_prices()
+        assert dataset.item_name(0) == "kindle"
+        assert dataset.item_name(2) == "item-2"
+
+
+class TestAmazonLikeGenerator:
+    def test_shapes_and_structure(self):
+        config = AmazonLikeConfig(num_users=80, num_items=40, num_classes=8, seed=1)
+        dataset = generate_amazon_like(config)
+        assert dataset.num_users == 80
+        assert dataset.num_items == 40
+        assert dataset.horizon == config.horizon
+        assert dataset.prices.shape == (40, 7)
+        assert np.all(dataset.prices > 0)
+        assert dataset.catalog.num_classes == 8
+        assert dataset.reported_prices is None
+        assert dataset.num_ratings > 0
+
+    def test_class_sizes_are_skewed(self):
+        dataset = generate_amazon_like(AmazonLikeConfig(
+            num_users=100, num_items=120, num_classes=12, seed=2
+        ))
+        sizes = sorted(dataset.catalog.class_sizes().values())
+        assert sizes[-1] >= 3 * sizes[0]
+
+    def test_deterministic_given_seed(self):
+        a = generate_amazon_like(AmazonLikeConfig(num_users=50, num_items=20, seed=9))
+        b = generate_amazon_like(AmazonLikeConfig(num_users=50, num_items=20, seed=9))
+        assert np.allclose(a.prices, b.prices)
+        assert a.num_ratings == b.num_ratings
+
+    def test_rating_values_in_scale(self):
+        dataset = generate_amazon_like(AmazonLikeConfig(num_users=40, num_items=20, seed=3))
+        for rating in dataset.ratings:
+            assert 1.0 <= rating.value <= 5.0
+
+
+class TestEpinionsLikeGenerator:
+    def test_shapes_and_structure(self):
+        config = EpinionsLikeConfig(num_users=70, num_items=30, num_classes=6, seed=1)
+        dataset = generate_epinions_like(config)
+        assert dataset.num_users == 70
+        assert dataset.num_items == 30
+        assert dataset.prices is None
+        assert dataset.reported_prices
+        assert all(len(reports) >= config.min_reports_per_item
+                   for reports in dataset.reported_prices.values())
+
+    def test_classes_are_balanced(self):
+        dataset = generate_epinions_like(EpinionsLikeConfig(
+            num_users=50, num_items=30, num_classes=6, seed=0
+        ))
+        sizes = list(dataset.catalog.class_sizes().values())
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_sparser_than_amazon(self):
+        amazon = generate_amazon_like(AmazonLikeConfig(num_users=100, num_items=40, seed=0))
+        epinions = generate_epinions_like(EpinionsLikeConfig(num_users=100, num_items=40, seed=0))
+        assert epinions.ratings.density() < amazon.ratings.density()
+
+
+class TestSyntheticGenerator:
+    def test_instance_structure(self):
+        config = SyntheticConfig(num_users=50, num_items=30, num_classes=5,
+                                 candidates_per_user=10, seed=0)
+        instance = generate_synthetic_instance(config)
+        assert instance.num_users == 50
+        assert instance.num_items == 30
+        assert instance.horizon == config.horizon
+        assert instance.num_candidate_triples() == 50 * 10 * config.horizon
+        assert instance.display_limit == config.display_limit
+
+    def test_prices_in_declared_range(self):
+        config = SyntheticConfig(num_users=20, num_items=10, candidates_per_user=5,
+                                 price_low=10.0, price_high=500.0, seed=1)
+        instance = generate_synthetic_instance(config)
+        assert np.all(instance.prices >= 10.0)
+        assert np.all(instance.prices <= 2 * 500.0)
+
+    def test_anti_monotone_price_probability_matching(self):
+        """Within each (user, item) pair, cheaper time steps get larger q."""
+        config = SyntheticConfig(num_users=10, num_items=8, candidates_per_user=4, seed=2)
+        instance = generate_synthetic_instance(config)
+        checked = 0
+        for user, item in list(instance.adoption.pairs())[:20]:
+            prices = instance.prices[item]
+            probabilities = instance.adoption.get(user, item)
+            order_by_price = np.argsort(prices)
+            sorted_probabilities = probabilities[order_by_price]
+            assert np.all(np.diff(sorted_probabilities) <= 1e-12)
+            checked += 1
+        assert checked > 0
+
+    def test_too_many_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            generate_synthetic_instance(SyntheticConfig(num_items=5, candidates_per_user=10))
+
+
+class TestCapacityAndBetaSamplers:
+    def test_all_distributions_produce_valid_capacities(self):
+        for distribution in CAPACITY_DISTRIBUTIONS:
+            capacities = sample_capacities(
+                50, 1000, distribution=distribution, mean_fraction=0.2, seed=0
+            )
+            assert capacities.shape == (50,)
+            assert capacities.dtype.kind == "i"
+            assert np.all(capacities >= 1)
+
+    def test_mean_fraction_respected(self):
+        capacities = sample_capacities(200, 1000, distribution="normal",
+                                       mean_fraction=0.3, seed=1)
+        assert np.mean(capacities) == pytest.approx(300, rel=0.15)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            sample_capacities(10, 100, distribution="cauchy")
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            sample_capacities(0, 100)
+        with pytest.raises(ValueError):
+            sample_capacities(10, 100, mean_fraction=0.0)
+
+    def test_power_law_is_heavy_tailed(self):
+        capacities = sample_capacities(500, 10_000, distribution="power", seed=0)
+        assert capacities.max() > 3 * np.median(capacities)
+
+    def test_uniform_betas_in_range(self):
+        betas = sample_betas(100, mode="uniform", seed=0)
+        assert betas.shape == (100,)
+        assert np.all((betas >= 0.0) & (betas <= 1.0))
+
+    def test_fixed_betas(self):
+        betas = sample_betas(10, mode="fixed", value=0.3)
+        assert np.all(betas == 0.3)
+
+    def test_fixed_mode_requires_valid_value(self):
+        with pytest.raises(ValueError):
+            sample_betas(10, mode="fixed")
+        with pytest.raises(ValueError):
+            sample_betas(10, mode="fixed", value=1.5)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            sample_betas(10, mode="gamma")
+
+
+class TestStatistics:
+    def test_dataset_statistics_fields(self, tiny_amazon_pipeline):
+        stats = dataset_statistics(tiny_amazon_pipeline.instance, name="amazon-tiny")
+        assert stats.name == "amazon-tiny"
+        assert stats.num_users > 0
+        assert stats.num_items > 0
+        assert stats.num_positive_triples > 0
+        assert stats.largest_class >= stats.median_class >= stats.smallest_class
+
+    def test_format_table1_contains_all_rows(self, tiny_amazon_pipeline):
+        stats = dataset_statistics(tiny_amazon_pipeline.instance, name="amazon-tiny")
+        text = format_table1([stats])
+        assert "#Users" in text
+        assert "#Triples with positive q" in text
+        assert "amazon-tiny" in text
+        assert "Median class size" in text

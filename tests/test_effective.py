@@ -1,0 +1,133 @@
+"""Tests for the R-REVMAX effective dynamic adoption probability (Definition 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.effective import EffectiveRevenueModel
+from repro.core.entities import Triple
+from repro.core.problem import RevMaxInstance
+from repro.core.revenue import RevenueModel
+from repro.core.strategy import Strategy
+from repro.simulation.capacity_oracle import MonteCarloCapacityOracle
+
+
+def _example3_instance(q_u=0.4, q_v=0.3, q_w1=0.2, q_w2=0.6):
+    """One item, three users u=0, v=1, w=2; k=1, capacity 1, beta=0.5."""
+    return RevMaxInstance.from_dense_adoption(
+        prices=np.full((1, 2), 10.0),
+        adoption={
+            (0, 0): [q_u, q_u],
+            (1, 0): [q_v, q_v],
+            (2, 0): [q_w1, q_w2],
+        },
+        item_class=[0],
+        capacities=1,
+        betas=0.5,
+        display_limit=1,
+        num_users=3,
+    )
+
+
+class TestCapacityFactor:
+    def test_below_capacity_factor_is_one(self):
+        instance = _example3_instance()
+        model = EffectiveRevenueModel(instance)
+        strategy = Strategy(instance.catalog, [Triple(0, 0, 0)])
+        assert model.capacity_factor(strategy, Triple(0, 0, 0)) == 1.0
+
+    def test_example_3_from_paper(self):
+        """Example 3: S = {(u,i,1), (v,i,2), (w,i,1), (w,i,2)}, q_i = 1.
+
+        The effective probability of (w, i, 2) multiplies its dynamic
+        probability (competition with (w,i,1) and saturation 0.5^1) by the
+        probability that neither u nor v adopted the item.
+        """
+        q_u, q_v, q_w1, q_w2 = 0.4, 0.3, 0.2, 0.6
+        instance = _example3_instance(q_u, q_v, q_w1, q_w2)
+        # 0-based times: t=0 and t=1.
+        strategy = Strategy(instance.catalog, [
+            Triple(0, 0, 0), Triple(1, 0, 1), Triple(2, 0, 0), Triple(2, 0, 1),
+        ])
+        model = EffectiveRevenueModel(instance)
+        target = Triple(2, 0, 1)
+        expected_dynamic = q_w2 * (1 - q_w1) * 0.5 ** 1.0
+        # Competing users: u adopts at time 0 with prob q_u; v's triple is at
+        # time 1 <= t and adopts with prob q_v (its dynamic prob = primitive).
+        expected_capacity = (1 - q_u) * (1 - q_v)
+        effective = model.effective_probability(strategy, target)
+        assert effective == pytest.approx(expected_dynamic * expected_capacity)
+
+    def test_capacity_factor_uses_dynamic_probabilities_of_competitors(self):
+        """A competitor whose own dynamic probability is discounted blocks less."""
+        instance = _example3_instance()
+        model = EffectiveRevenueModel(instance)
+        # Competitor u has two recommendations; the later one is discounted, so
+        # the total adoption probability of u is below the naive 2 * q_u.
+        strategy = Strategy(instance.catalog, [
+            Triple(0, 0, 0), Triple(0, 0, 1), Triple(2, 0, 1),
+        ])
+        factor = model.capacity_factor(strategy, Triple(2, 0, 1))
+        q_u = 0.4
+        p_first = q_u
+        p_second = q_u * (1 - q_u) * 0.5  # competition with itself + saturation
+        assert factor == pytest.approx(1.0 - min(1.0, p_first + p_second))
+
+    def test_monte_carlo_oracle_close_to_exact(self):
+        instance = _example3_instance()
+        exact_model = EffectiveRevenueModel(instance)
+        mc_model = EffectiveRevenueModel(
+            instance, MonteCarloCapacityOracle(num_samples=20000, seed=3)
+        )
+        strategy = Strategy(instance.catalog, [
+            Triple(0, 0, 0), Triple(1, 0, 1), Triple(2, 0, 1),
+        ])
+        target = Triple(2, 0, 1)
+        assert mc_model.capacity_factor(strategy, target) == pytest.approx(
+            exact_model.capacity_factor(strategy, target), abs=0.02
+        )
+
+
+class TestEffectiveRevenue:
+    def test_reduces_to_exact_model_when_capacity_not_binding(self):
+        instance = _example3_instance().with_capacities(10)
+        effective = EffectiveRevenueModel(instance)
+        exact = RevenueModel(instance)
+        strategy = Strategy(instance.catalog, [
+            Triple(0, 0, 0), Triple(1, 0, 1), Triple(2, 0, 0),
+        ])
+        assert effective.revenue(strategy) == pytest.approx(exact.revenue(strategy))
+
+    def test_revenue_below_exact_when_capacity_binds(self):
+        instance = _example3_instance()
+        effective = EffectiveRevenueModel(instance)
+        exact = RevenueModel(instance)
+        strategy = Strategy(instance.catalog, [
+            Triple(0, 0, 0), Triple(1, 0, 1), Triple(2, 0, 1),
+        ])
+        assert effective.revenue(strategy) < exact.revenue(strategy)
+
+    def test_absent_triple_effective_probability_zero(self):
+        instance = _example3_instance()
+        model = EffectiveRevenueModel(instance)
+        strategy = Strategy(instance.catalog, [Triple(0, 0, 0)])
+        assert model.effective_probability(strategy, Triple(1, 0, 1)) == 0.0
+
+    def test_marginal_revenue_matches_difference(self):
+        instance = _example3_instance()
+        model = EffectiveRevenueModel(instance)
+        base = [Triple(0, 0, 0), Triple(1, 0, 1)]
+        strategy = Strategy(instance.catalog, base)
+        addition = Triple(2, 0, 1)
+        expected = (
+            model.revenue(Strategy(instance.catalog, base + [addition]))
+            - model.revenue(strategy)
+        )
+        assert model.marginal_revenue(strategy, addition) == pytest.approx(expected)
+
+    def test_marginal_of_member_is_zero(self):
+        instance = _example3_instance()
+        model = EffectiveRevenueModel(instance)
+        strategy = Strategy(instance.catalog, [Triple(0, 0, 0)])
+        assert model.marginal_revenue(strategy, Triple(0, 0, 0)) == 0.0

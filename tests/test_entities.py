@@ -1,0 +1,86 @@
+"""Tests for core entities: triples and item catalogs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entities import ItemCatalog, ItemMeta, Triple, UserMeta, as_triples
+
+
+class TestTriple:
+    def test_fields(self):
+        triple = Triple(user=3, item=7, t=1)
+        assert triple.user == 3
+        assert triple.item == 7
+        assert triple.t == 1
+
+    def test_is_tuple_like(self):
+        triple = Triple(1, 2, 3)
+        user, item, t = triple
+        assert (user, item, t) == (1, 2, 3)
+
+    def test_equality_and_hashing(self):
+        assert Triple(1, 2, 3) == Triple(1, 2, 3)
+        assert len({Triple(1, 2, 3), Triple(1, 2, 3)}) == 1
+
+    def test_str(self):
+        assert str(Triple(1, 2, 3)) == "(u1, i2, t3)"
+
+    def test_as_triples_coerces(self):
+        triples = as_triples([(0, 1, 2), [3, 4, 5]])
+        assert triples == [Triple(0, 1, 2), Triple(3, 4, 5)]
+
+
+class TestItemCatalog:
+    def test_basic_class_lookup(self):
+        catalog = ItemCatalog(item_class=[0, 0, 1, 2])
+        assert catalog.num_items == 4
+        assert catalog.num_classes == 3
+        assert catalog.class_of(1) == 0
+        assert catalog.class_of(3) == 2
+
+    def test_negative_class_rejected(self):
+        with pytest.raises(ValueError):
+            ItemCatalog(item_class=[0, -1])
+
+    def test_members(self):
+        catalog = ItemCatalog(item_class=[0, 1, 0, 1, 1])
+        assert catalog.members(0) == [0, 2]
+        assert catalog.members(1) == [1, 3, 4]
+
+    def test_class_sizes(self):
+        catalog = ItemCatalog(item_class=[0, 1, 0, 1, 1])
+        assert catalog.class_sizes() == {0: 2, 1: 3}
+
+    def test_same_class(self):
+        catalog = ItemCatalog(item_class=[0, 1, 0])
+        assert catalog.same_class(0, 2)
+        assert not catalog.same_class(0, 1)
+
+    def test_singleton(self):
+        catalog = ItemCatalog.singleton(4)
+        assert catalog.num_classes == 4
+        assert all(catalog.class_of(i) == i for i in range(4))
+        assert all(size == 1 for size in catalog.class_sizes().values())
+
+    def test_from_assignment_with_names(self):
+        catalog = ItemCatalog.from_assignment([0, 1], {0: "tablets", 1: "phones"})
+        assert catalog.class_names[0] == "tablets"
+        assert catalog.class_of(1) == 1
+
+
+class TestMetadata:
+    def test_item_meta_defaults(self):
+        meta = ItemMeta(item_id=3, item_class=1)
+        assert meta.name == ""
+        assert meta.base_price == 0.0
+
+    def test_user_meta(self):
+        meta = UserMeta(user_id=2, name="alice")
+        assert meta.user_id == 2
+        assert meta.name == "alice"
+
+    def test_item_meta_frozen(self):
+        meta = ItemMeta(item_id=1, item_class=0)
+        with pytest.raises(AttributeError):
+            meta.item_id = 5  # type: ignore[misc]

@@ -1,0 +1,127 @@
+"""Tests for the exact T=1 solver and the R-REVMAX local-search approximation."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.algorithms.exact_single_step import SingleStepExactSolver, solve_single_step
+from repro.algorithms.global_greedy import GlobalGreedy
+from repro.algorithms.local_search import LocalSearchApproximation
+from repro.core.constraints import ConstraintChecker
+from repro.core.effective import EffectiveRevenueModel
+from repro.core.revenue import RevenueModel
+from repro.core.strategy import Strategy
+
+from tests.conftest import build_random_instance
+
+
+def _brute_force_single_step(instance):
+    """Optimal single-step revenue by exhaustive enumeration (tiny instances)."""
+    model = RevenueModel(instance)
+    checker = ConstraintChecker(instance)
+    candidates = [z for z in instance.candidate_triples() if z.t == 0]
+    best = 0.0
+    for size in range(len(candidates) + 1):
+        for combo in itertools.combinations(candidates, size):
+            strategy = Strategy(instance.catalog, combo)
+            if checker.is_valid(strategy):
+                best = max(best, model.revenue(strategy))
+    return best
+
+
+class TestSingleStepExactSolver:
+    def test_rejects_multi_step_instances(self, small_instance):
+        with pytest.raises(ValueError):
+            SingleStepExactSolver().run(small_instance)
+
+    def test_invalid_time_step_rejected(self, small_instance):
+        with pytest.raises(ValueError):
+            solve_single_step(small_instance, time_step=99)
+
+    def test_matches_brute_force_on_tiny_instances(self):
+        for seed in range(5):
+            instance = build_random_instance(
+                num_users=3, num_items=3, num_classes=3, horizon=1,
+                display_limit=1, capacity=2, density=0.8, seed=seed,
+            )
+            exact = SingleStepExactSolver().run(instance)
+            assert exact.revenue == pytest.approx(
+                _brute_force_single_step(instance), rel=1e-9
+            )
+
+    def test_output_is_valid(self):
+        instance = build_random_instance(
+            num_users=4, num_items=3, num_classes=3, horizon=1,
+            display_limit=2, capacity=2, seed=1,
+        )
+        result = SingleStepExactSolver().run(instance)
+        ConstraintChecker(instance).check(result.strategy)
+
+    def test_greedy_never_beats_exact_on_single_step(self):
+        """With singleton classes and T = 1 the greedy cannot exceed the exact
+        optimum (sanity anchor for both implementations)."""
+        for seed in range(5):
+            instance = build_random_instance(
+                num_users=4, num_items=4, num_classes=4, horizon=1,
+                display_limit=1, capacity=2, seed=seed,
+            )
+            exact = SingleStepExactSolver().run(instance).revenue
+            greedy = GlobalGreedy().run(instance).revenue
+            assert greedy <= exact + 1e-9
+
+    def test_solve_specific_time_step_of_longer_horizon(self, small_instance):
+        strategy = solve_single_step(small_instance, time_step=2)
+        assert all(triple.t == 2 for triple in strategy)
+        ConstraintChecker(small_instance).check(strategy)
+
+
+class TestLocalSearchApproximation:
+    def _tiny_instance(self, seed=0):
+        return build_random_instance(
+            num_users=3, num_items=3, num_classes=2, horizon=2,
+            display_limit=1, capacity=1, density=0.7, seed=seed,
+        )
+
+    def test_output_satisfies_display_constraint(self):
+        instance = self._tiny_instance()
+        result = LocalSearchApproximation(epsilon=0.5).run(instance)
+        for user in range(instance.num_users):
+            for t in range(instance.horizon):
+                assert result.strategy.display_count(user, t) <= instance.display_limit
+
+    def test_capacity_may_be_exceeded_but_objective_accounts_for_it(self):
+        """R-REVMAX drops the hard capacity constraint; the effective model
+        must value the returned strategy at the reported objective."""
+        instance = self._tiny_instance(seed=3)
+        algorithm = LocalSearchApproximation(epsilon=0.5)
+        result = algorithm.run(instance)
+        model = EffectiveRevenueModel(instance)
+        assert model.revenue(result.strategy) == pytest.approx(
+            algorithm.last_extras["objective_value"], rel=1e-9
+        )
+
+    def test_reaches_good_fraction_of_brute_force_relaxed_optimum(self):
+        instance = self._tiny_instance(seed=5)
+        model = EffectiveRevenueModel(instance)
+        candidates = list(instance.candidate_triples())
+        best = 0.0
+        from repro.matroid.partition import display_constraint_matroid
+        matroid = display_constraint_matroid(instance)
+        for size in range(min(4, len(candidates)) + 1):
+            for combo in itertools.combinations(candidates, size):
+                if not matroid.is_independent(combo):
+                    continue
+                best = max(best, model.revenue(Strategy(instance.catalog, combo)))
+        result = LocalSearchApproximation(epsilon=0.3).run(instance)
+        # Guarantee is 1/(4+eps); local search usually does much better.
+        assert result.revenue >= best / 4.5 - 1e-9
+
+    def test_moves_and_evaluations_reported(self):
+        instance = self._tiny_instance(seed=1)
+        algorithm = LocalSearchApproximation(epsilon=0.5)
+        algorithm.run(instance)
+        assert algorithm.last_extras["moves"] >= 0
+        assert algorithm.last_evaluations > 0

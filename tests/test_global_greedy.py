@@ -1,0 +1,180 @@
+"""Tests for Global Greedy (Algorithm 1) and its GlobalNo / ablation variants."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.algorithms.global_greedy import GlobalGreedy, GlobalGreedyNoSaturation
+from repro.core.constraints import ConstraintChecker
+from repro.core.entities import Triple
+from repro.core.revenue import RevenueModel
+from repro.core.strategy import Strategy
+
+from tests.conftest import build_random_instance
+
+
+def _brute_force_optimum(instance, max_size=4):
+    """Best valid strategy among all subsets up to ``max_size`` (tiny instances)."""
+    model = RevenueModel(instance)
+    checker = ConstraintChecker(instance)
+    candidates = list(instance.candidate_triples())
+    best = 0.0
+    for size in range(max_size + 1):
+        for combo in itertools.combinations(candidates, size):
+            strategy = Strategy(instance.catalog, combo)
+            if not checker.is_valid(strategy):
+                continue
+            best = max(best, model.revenue(strategy))
+    return best
+
+
+class TestGlobalGreedyCorrectness:
+    def test_output_is_valid(self, small_instance):
+        result = GlobalGreedy().run(small_instance)
+        ConstraintChecker(small_instance).check(result.strategy)
+        assert result.revenue > 0.0
+
+    def test_reported_revenue_matches_model(self, small_instance):
+        result = GlobalGreedy().run(small_instance)
+        model = RevenueModel(small_instance)
+        assert result.revenue == pytest.approx(model.revenue(result.strategy))
+
+    def test_handles_paper_example_optimally(self, paper_example_instance):
+        """On the Theorem-2 example the greedy must pick only (u, i, 2)."""
+        result = GlobalGreedy().run(paper_example_instance)
+        assert result.strategy.triples() == {Triple(0, 0, 1)}
+        assert result.revenue == pytest.approx(0.57)
+
+    def test_no_negative_marginal_additions(self, small_instance):
+        """Removing any single selected triple must not increase revenue
+        beyond numerical noise larger than its own contribution (i.e., every
+        selection was made with positive marginal revenue at the time)."""
+        result = GlobalGreedy().run(small_instance)
+        curve = result.growth_curve
+        revenues = [revenue for _, revenue in curve]
+        assert all(later >= earlier - 1e-9
+                   for earlier, later in zip(revenues, revenues[1:]))
+
+    def test_growth_curve_consistency(self, small_instance):
+        result = GlobalGreedy().run(small_instance)
+        assert result.growth_curve[-1][0] == len(result.strategy)
+        assert result.growth_curve[-1][1] == pytest.approx(result.revenue, rel=1e-6)
+        sizes = [size for size, _ in result.growth_curve]
+        assert sizes == sorted(sizes)
+
+    def test_close_to_optimum_on_tiny_instances(self):
+        for seed in range(4):
+            instance = build_random_instance(
+                num_users=2, num_items=2, num_classes=1, horizon=2,
+                display_limit=1, capacity=1, beta=0.5, seed=seed,
+            )
+            greedy = GlobalGreedy().run(instance).revenue
+            optimum = _brute_force_optimum(instance, max_size=4)
+            assert greedy >= 0.5 * optimum
+            assert greedy <= optimum + 1e-9
+
+    def test_respects_capacity_exactly(self):
+        instance = build_random_instance(
+            num_users=6, num_items=2, num_classes=2, horizon=2,
+            display_limit=2, capacity=2, density=1.0, seed=3,
+        )
+        result = GlobalGreedy().run(instance)
+        for item in range(instance.num_items):
+            assert result.strategy.item_audience_size(item) <= instance.capacity(item)
+
+    def test_respects_display_limit_exactly(self, small_instance):
+        result = GlobalGreedy().run(small_instance)
+        for user in range(small_instance.num_users):
+            for t in range(small_instance.horizon):
+                assert result.strategy.display_count(user, t) <= (
+                    small_instance.display_limit
+                )
+
+    def test_empty_instance_yields_empty_strategy(self):
+        instance = build_random_instance(num_users=1, num_items=1, horizon=1,
+                                         density=0.0, seed=0)
+        # density 0 keeps one forced pair; zero out its probability by making
+        # the instance trivially empty through beta/probability filtering is
+        # not possible, so instead restrict allowed_times to an empty set.
+        strategy = GlobalGreedy().build_strategy(instance, allowed_times=[])
+        assert len(strategy) == 0
+
+
+class TestGlobalGreedyVariants:
+    def test_lazy_forward_and_eager_agree(self, small_instance):
+        lazy = GlobalGreedy(use_lazy_forward=True).run(small_instance)
+        eager = GlobalGreedy(use_lazy_forward=False).run(small_instance)
+        # Lazy forward relies on diminishing returns which can be violated in
+        # rare configurations (see test_submodularity); revenues must still be
+        # essentially identical on typical instances.
+        assert lazy.revenue == pytest.approx(eager.revenue, rel=0.02)
+
+    def test_two_level_and_flat_heap_agree(self, small_instance):
+        two_level = GlobalGreedy(use_two_level_heap=True).run(small_instance)
+        flat = GlobalGreedy(use_two_level_heap=False).run(small_instance)
+        assert two_level.revenue == pytest.approx(flat.revenue, rel=1e-9)
+        assert two_level.strategy.triples() == flat.strategy.triples()
+
+    def test_lazy_forward_does_less_work(self):
+        instance = build_random_instance(
+            num_users=10, num_items=8, num_classes=2, horizon=4,
+            display_limit=2, capacity=5, seed=7,
+        )
+        lazy = GlobalGreedy(use_lazy_forward=True)
+        eager = GlobalGreedy(use_lazy_forward=False)
+        lazy.run(instance)
+        eager.run(instance)
+        assert lazy.last_evaluations <= eager.last_evaluations
+
+    def test_global_no_ignores_saturation_for_selection(self):
+        """GlobalNo must repeat recommendations more aggressively than GG when
+        saturation is strong, and earn no more true revenue than GG."""
+        instance = build_random_instance(
+            num_users=5, num_items=4, num_classes=1, horizon=4,
+            display_limit=2, capacity=5, beta=0.05, density=1.0, seed=11,
+        )
+        with_saturation = GlobalGreedy().run(instance)
+        without = GlobalGreedyNoSaturation().run(instance)
+        assert without.algorithm == "GlobalNo"
+        assert without.revenue <= with_saturation.revenue + 1e-9
+        ConstraintChecker(instance).check(without.strategy)
+
+    def test_extras_record_configuration(self, small_instance):
+        algorithm = GlobalGreedy(use_lazy_forward=False, use_two_level_heap=False)
+        algorithm.run(small_instance)
+        assert algorithm.last_extras == {
+            "lazy_forward": False,
+            "two_level_heap": False,
+            "ignore_saturation": False,
+        }
+
+
+class TestGlobalGreedySubHorizons:
+    def test_allowed_times_restricts_selection(self, small_instance):
+        strategy = GlobalGreedy().build_strategy(small_instance, allowed_times=[0])
+        assert all(triple.t == 0 for triple in strategy)
+
+    def test_initial_strategy_is_preserved_and_respected(self, small_instance):
+        first = GlobalGreedy().build_strategy(small_instance, allowed_times=[0])
+        combined = GlobalGreedy().build_strategy(
+            small_instance, allowed_times=[1, 2], initial_strategy=first
+        )
+        assert first.triples() <= combined.triples()
+        new_triples = combined.triples() - first.triples()
+        assert all(triple.t in (1, 2) for triple in new_triples)
+        ConstraintChecker(small_instance).check(combined)
+
+    def test_sub_horizon_rarely_beats_full_horizon(self, small_instance):
+        """Planning the horizon in two stages should not beat holistic planning
+        by any meaningful margin (both are heuristics, so allow slack)."""
+        model = RevenueModel(small_instance)
+        full = GlobalGreedy().run(small_instance).revenue
+        first = GlobalGreedy().build_strategy(small_instance, allowed_times=[0, 1])
+        combined = GlobalGreedy().build_strategy(
+            small_instance, allowed_times=[2], initial_strategy=first
+        )
+        staged = model.revenue(combined)
+        assert staged <= full * 1.05 + 1e-6

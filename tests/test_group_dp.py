@@ -1,0 +1,125 @@
+"""Tests for per-group exact optimization and the group-decomposition bound."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.algorithms.baselines import TopRevenueBaseline
+from repro.algorithms.global_greedy import GlobalGreedy
+from repro.algorithms.group_dp import (
+    GroupDecompositionBound,
+    optimal_group_plan,
+)
+from repro.algorithms.local_greedy import SequentialLocalGreedy
+from repro.core.entities import Triple
+from repro.core.revenue import RevenueModel, group_revenue
+from repro.core.strategy import Strategy
+
+from tests.conftest import build_random_instance
+
+
+class TestOptimalGroupPlan:
+    def test_paper_example_group_optimum(self, paper_example_instance):
+        """On the Theorem-2 instance the optimal single-group plan is {(u,i,2)}."""
+        subset, value = optimal_group_plan(paper_example_instance, user=0, class_id=0)
+        assert subset == [Triple(0, 0, 1)]
+        assert value == pytest.approx(0.57)
+
+    def test_empty_group(self, small_instance):
+        subset, value = optimal_group_plan(small_instance, user=0, class_id=999)
+        assert subset == []
+        assert value == 0.0
+
+    def test_oversized_group_rejected(self, small_instance):
+        user = small_instance.users()[0]
+        class_id = small_instance.class_of(small_instance.candidate_items(user)[0])
+        with pytest.raises(ValueError):
+            optimal_group_plan(small_instance, user, class_id, max_candidates=1)
+
+    def test_matches_exhaustive_enumeration(self):
+        instance = build_random_instance(
+            num_users=1, num_items=2, num_classes=1, horizon=3,
+            display_limit=1, beta=0.4, density=1.0, seed=8,
+        )
+        subset, value = optimal_group_plan(instance, user=0, class_id=0)
+        # Independent brute force, including display filtering.
+        candidates = [z for z in instance.candidate_triples()]
+        best = 0.0
+        for size in range(len(candidates) + 1):
+            for combo in itertools.combinations(candidates, size):
+                counts = {}
+                ok = True
+                for triple in combo:
+                    counts[triple.t] = counts.get(triple.t, 0) + 1
+                    if counts[triple.t] > instance.display_limit:
+                        ok = False
+                        break
+                if ok:
+                    best = max(best, group_revenue(instance, list(combo)))
+        assert value == pytest.approx(best)
+        assert group_revenue(instance, subset) == pytest.approx(value)
+
+    def test_respects_display_limit_within_group(self):
+        instance = build_random_instance(
+            num_users=1, num_items=3, num_classes=1, horizon=2,
+            display_limit=1, density=1.0, seed=2,
+        )
+        subset, _ = optimal_group_plan(instance, user=0, class_id=0)
+        per_time = {}
+        for triple in subset:
+            per_time[triple.t] = per_time.get(triple.t, 0) + 1
+        assert all(count <= 1 for count in per_time.values())
+
+
+class TestGroupDecompositionBound:
+    def test_bound_dominates_greedy_and_baselines(self, small_instance):
+        bound = GroupDecompositionBound().compute(small_instance)
+        greedy = GlobalGreedy().run(small_instance).revenue
+        sequential = SequentialLocalGreedy().run(small_instance).revenue
+        top_revenue = TopRevenueBaseline().run(small_instance).revenue
+        assert bound.upper_bound >= greedy - 1e-9
+        assert bound.upper_bound >= sequential - 1e-9
+        assert bound.upper_bound >= top_revenue - 1e-9
+
+    def test_bound_dominates_every_small_valid_strategy(self):
+        instance = build_random_instance(
+            num_users=2, num_items=2, num_classes=1, horizon=2,
+            display_limit=1, capacity=1, seed=4,
+        )
+        bound = GroupDecompositionBound().compute(instance)
+        model = RevenueModel(instance)
+        candidates = list(instance.candidate_triples())
+        from repro.core.constraints import ConstraintChecker
+        checker = ConstraintChecker(instance)
+        for size in range(min(4, len(candidates)) + 1):
+            for combo in itertools.combinations(candidates, size):
+                strategy = Strategy(instance.catalog, combo)
+                if not checker.is_valid(strategy):
+                    continue
+                assert model.revenue(strategy) <= bound.upper_bound + 1e-9
+
+    def test_per_group_accounting(self, small_instance):
+        bound = GroupDecompositionBound().compute(small_instance)
+        assert bound.upper_bound == pytest.approx(sum(bound.per_group.values()))
+        assert bound.enumerated_groups + bound.relaxed_groups == len(bound.per_group)
+
+    def test_relaxed_fallback_still_upper_bounds(self, small_instance):
+        """Forcing the loose relaxation everywhere must give a larger (or equal)
+        bound than exact enumeration."""
+        exact = GroupDecompositionBound(max_candidates_per_group=14).compute(
+            small_instance
+        )
+        loose = GroupDecompositionBound(max_candidates_per_group=0).compute(
+            small_instance
+        )
+        assert loose.relaxed_groups == len(loose.per_group)
+        assert loose.upper_bound >= exact.upper_bound - 1e-9
+
+    def test_gap_helper(self, small_instance):
+        bound = GroupDecompositionBound().compute(small_instance)
+        assert bound.gap(bound.upper_bound) == pytest.approx(0.0)
+        assert 0.0 <= bound.gap(0.5 * bound.upper_bound) <= 1.0
+        greedy = GlobalGreedy().run(small_instance).revenue
+        assert 0.0 <= bound.gap(greedy) < 1.0

@@ -1,0 +1,82 @@
+"""Tests for the gradually-available-prices protocol (§6.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.global_greedy import GlobalGreedy
+from repro.algorithms.incomplete_prices import SubHorizonWrapper, split_horizon
+from repro.algorithms.local_greedy import RandomizedLocalGreedy, SequentialLocalGreedy
+from repro.core.constraints import ConstraintChecker
+from repro.core.revenue import RevenueModel
+
+
+class TestSplitHorizon:
+    def test_single_cutoff(self):
+        assert split_horizon(7, [2]) == [[0, 1], [2, 3, 4, 5, 6]]
+
+    def test_multiple_cutoffs(self):
+        assert split_horizon(7, [2, 5]) == [[0, 1], [2, 3, 4], [5, 6]]
+
+    def test_duplicate_and_unsorted_cutoffs_normalised(self):
+        assert split_horizon(6, [4, 2, 4]) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_invalid_cutoffs_rejected(self):
+        with pytest.raises(ValueError):
+            split_horizon(5, [0])
+        with pytest.raises(ValueError):
+            split_horizon(5, [5])
+        with pytest.raises(ValueError):
+            split_horizon(5, [-1])
+
+    def test_covers_whole_horizon_without_overlap(self):
+        parts = split_horizon(7, [3, 5])
+        flattened = [t for part in parts for t in part]
+        assert flattened == list(range(7))
+
+
+class TestSubHorizonWrapper:
+    def test_wrapped_global_greedy_is_valid(self, small_instance):
+        wrapper = SubHorizonWrapper(GlobalGreedy(), cutoffs=[1])
+        result = wrapper.run(small_instance)
+        ConstraintChecker(small_instance).check(result.strategy)
+        assert result.revenue > 0
+        assert "cut1" in wrapper.name
+
+    def test_wrapped_sequential_matches_plain_sequential(self, small_instance):
+        """SL-Greedy is unaffected by sub-horizon splitting (it is already
+        chronological), as the paper notes."""
+        plain = SequentialLocalGreedy().run(small_instance)
+        wrapped = SubHorizonWrapper(SequentialLocalGreedy(), cutoffs=[1]).run(
+            small_instance
+        )
+        assert wrapped.revenue == pytest.approx(plain.revenue, rel=1e-9)
+        assert wrapped.strategy.triples() == plain.strategy.triples()
+
+    def test_wrapped_randomized_greedy_is_valid(self, small_instance):
+        wrapper = SubHorizonWrapper(
+            RandomizedLocalGreedy(num_permutations=3, seed=0), cutoffs=[1]
+        )
+        result = wrapper.run(small_instance)
+        ConstraintChecker(small_instance).check(result.strategy)
+        assert result.revenue > 0
+
+    def test_staged_global_greedy_not_better_than_full(self, small_instance):
+        """Figure 7's qualitative shape: losing look-ahead cannot help much."""
+        full = GlobalGreedy().run(small_instance).revenue
+        staged = SubHorizonWrapper(GlobalGreedy(), cutoffs=[1]).run(small_instance).revenue
+        assert staged <= full * 1.05 + 1e-9
+
+    def test_extras_record_protocol(self, small_instance):
+        wrapper = SubHorizonWrapper(GlobalGreedy(), cutoffs=[1, 2])
+        wrapper.run(small_instance)
+        assert wrapper.last_extras["cutoffs"] == [1, 2]
+        assert wrapper.last_extras["num_sub_horizons"] == 3
+
+    def test_triples_cover_both_sub_horizons(self, tiny_amazon_pipeline):
+        instance = tiny_amazon_pipeline.instance
+        wrapper = SubHorizonWrapper(GlobalGreedy(), cutoffs=[3])
+        result = wrapper.run(instance)
+        times = {triple.t for triple in result.strategy}
+        assert any(t < 3 for t in times)
+        assert any(t >= 3 for t in times)

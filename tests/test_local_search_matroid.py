@@ -1,0 +1,132 @@
+"""Tests for the generic non-monotone submodular local search (Lee et al.)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.matroid.local_search import (
+    local_search_matroid,
+    non_monotone_local_search,
+)
+from repro.matroid.matroid import UniformMatroid
+from repro.matroid.partition import PartitionMatroid
+from repro.matroid.submodular import MemoizedSetFunction
+
+
+def _brute_force_optimum(objective, matroid, ground):
+    best_value, best_set = 0.0, frozenset()
+    for size in range(len(ground) + 1):
+        for combo in itertools.combinations(ground, size):
+            if not matroid.is_independent(combo):
+                continue
+            value = objective(frozenset(combo))
+            if value > best_value:
+                best_value, best_set = value, frozenset(combo)
+    return best_value, best_set
+
+
+class TestMemoizedSetFunction:
+    def test_caches_evaluations(self):
+        calls = []
+
+        def raw(subset):
+            calls.append(frozenset(subset))
+            return float(len(subset))
+
+        wrapped = MemoizedSetFunction(raw)
+        assert wrapped({1, 2}) == 2.0
+        assert wrapped({2, 1}) == 2.0
+        assert wrapped.evaluations == 1
+        assert wrapped.marginal({1, 2}, 3) == 1.0
+
+    def test_marginal(self):
+        wrapped = MemoizedSetFunction(lambda s: float(sum(s)))
+        assert wrapped.marginal({1}, 4) == 4.0
+
+
+class TestLocalSearchOnModularFunctions:
+    def test_picks_best_elements_under_cardinality(self):
+        weights = {0: 5.0, 1: 1.0, 2: 3.0, 3: 4.0}
+
+        def objective(subset):
+            return sum(weights[x] for x in subset)
+
+        matroid = UniformMatroid(weights, rank=2)
+        result = non_monotone_local_search(objective, matroid, epsilon=0.1)
+        assert result.solution == frozenset({0, 3})
+        assert result.value == pytest.approx(9.0)
+
+    def test_negative_elements_excluded(self):
+        weights = {0: 5.0, 1: -2.0, 2: 1.0}
+
+        def objective(subset):
+            return sum(weights[x] for x in subset)
+
+        matroid = UniformMatroid(weights, rank=3)
+        result = non_monotone_local_search(objective, matroid, epsilon=0.1)
+        assert 1 not in result.solution
+        assert result.value == pytest.approx(6.0)
+
+    def test_empty_ground_set(self):
+        matroid = UniformMatroid([], rank=2)
+        result = local_search_matroid(lambda s: float(len(s)), matroid)
+        assert result.solution == frozenset()
+        assert result.value == 0.0
+
+    def test_invalid_epsilon_rejected(self):
+        matroid = UniformMatroid(range(3), rank=1)
+        with pytest.raises(ValueError):
+            local_search_matroid(lambda s: 1.0, matroid, epsilon=0.0)
+
+
+class TestLocalSearchOnSubmodularFunctions:
+    def test_coverage_under_partition_matroid_reaches_good_fraction(self):
+        universe_sets = {
+            0: {1, 2, 3}, 1: {3, 4}, 2: {5, 6, 7, 8}, 3: {1, 8}, 4: {9}, 5: {2, 9},
+        }
+
+        def coverage(subset):
+            covered = set()
+            for element in subset:
+                covered |= universe_sets[element]
+            return float(len(covered))
+
+        matroid = PartitionMatroid(
+            ground_set=universe_sets,
+            block_of=lambda x: x % 2,
+            default_capacity=2,
+        )
+        result = non_monotone_local_search(coverage, matroid, epsilon=0.1)
+        optimum, _ = _brute_force_optimum(coverage, matroid, list(universe_sets))
+        # The theoretical guarantee is 1/(4+eps); in practice local search does
+        # far better on small instances -- require at least half the optimum.
+        assert result.value >= 0.5 * optimum
+        assert matroid.is_independent(result.solution)
+
+    def test_non_monotone_cut_function(self):
+        """Directed-cut-style non-monotone objective: local search must still
+        return an independent set with value within the guarantee."""
+        edges = [(0, 1, 3.0), (1, 2, 2.0), (2, 0, 4.0), (0, 3, 1.0), (3, 2, 5.0)]
+        nodes = [0, 1, 2, 3]
+
+        def cut(subset):
+            subset = set(subset)
+            return float(sum(w for (a, b, w) in edges
+                             if a in subset and b not in subset))
+
+        matroid = UniformMatroid(nodes, rank=2)
+        result = non_monotone_local_search(cut, matroid, epsilon=0.1)
+        optimum, _ = _brute_force_optimum(cut, matroid, nodes)
+        assert result.value >= optimum / 4.1
+        assert matroid.is_independent(result.solution)
+
+    def test_result_reports_moves_and_evaluations(self):
+        weights = {0: 1.0, 1: 2.0, 2: 3.0}
+        matroid = UniformMatroid(weights, rank=2)
+        result = non_monotone_local_search(
+            lambda s: sum(weights[x] for x in s), matroid, epsilon=0.1
+        )
+        assert result.moves >= 1
+        assert result.evaluations >= 1

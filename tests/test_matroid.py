@@ -1,0 +1,163 @@
+"""Tests for the matroid toolkit (uniform / partition matroids, Lemma 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.entities import Triple
+from repro.matroid.matroid import FreeMatroid, UniformMatroid
+from repro.matroid.partition import PartitionMatroid, display_constraint_matroid
+
+from tests.conftest import build_random_instance
+
+
+class TestUniformMatroid:
+    def test_independence_by_cardinality(self):
+        matroid = UniformMatroid(range(5), rank=2)
+        assert matroid.is_independent([])
+        assert matroid.is_independent([0, 1])
+        assert not matroid.is_independent([0, 1, 2])
+
+    def test_elements_outside_ground_set_rejected(self):
+        matroid = UniformMatroid(range(3), rank=2)
+        assert not matroid.is_independent([7])
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            UniformMatroid(range(3), rank=-1)
+
+    def test_can_add(self):
+        matroid = UniformMatroid(range(4), rank=2)
+        assert matroid.can_add({0}, 1)
+        assert not matroid.can_add({0, 1}, 2)
+        assert not matroid.can_add({0}, 0)
+
+    def test_can_swap(self):
+        matroid = UniformMatroid(range(4), rank=2)
+        assert matroid.can_swap({0, 1}, 0, 2)
+        assert not matroid.can_swap({0, 1}, 3, 2)  # 3 not in the set
+
+    def test_rank(self):
+        matroid = UniformMatroid(range(10), rank=3)
+        assert matroid.rank(range(10)) == 3
+        assert matroid.rank([0]) == 1
+
+    def test_axioms_spot_check(self):
+        matroid = UniformMatroid(range(4), rank=2)
+        samples = [set(), {0}, {1}, {0, 1}, {2, 3}, {1, 2}]
+        matroid.check_axioms(samples)
+
+
+class TestFreeMatroid:
+    def test_everything_independent(self):
+        matroid = FreeMatroid(range(3))
+        assert matroid.is_independent([0, 1, 2])
+        assert not matroid.is_independent([5])
+
+    def test_rank_is_size(self):
+        matroid = FreeMatroid(range(5))
+        assert matroid.rank([0, 1, 4]) == 3
+
+
+class TestPartitionMatroid:
+    def _blocks_by_parity(self):
+        return PartitionMatroid(
+            ground_set=range(8),
+            block_of=lambda x: x % 2,
+            capacities={0: 2, 1: 1},
+        )
+
+    def test_independence(self):
+        matroid = self._blocks_by_parity()
+        assert matroid.is_independent([0, 2, 1])     # two even, one odd
+        assert not matroid.is_independent([0, 2, 4])  # three even
+        assert not matroid.is_independent([1, 3])     # two odd
+
+    def test_default_capacity(self):
+        matroid = PartitionMatroid(range(6), block_of=lambda x: x % 3,
+                                   default_capacity=1)
+        assert matroid.is_independent([0, 1, 2])
+        assert not matroid.is_independent([0, 3])
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionMatroid(range(3), block_of=lambda x: 0, capacities={0: -1})
+        with pytest.raises(ValueError):
+            PartitionMatroid(range(3), block_of=lambda x: 0, default_capacity=-2)
+
+    def test_specialised_can_add_matches_generic(self):
+        matroid = self._blocks_by_parity()
+        current = {0, 1}
+        for element in range(8):
+            generic = (
+                element not in current
+                and matroid.is_independent(current | {element})
+            )
+            assert matroid.can_add(current, element) == generic
+
+    def test_block_and_capacity_accessors(self):
+        matroid = self._blocks_by_parity()
+        assert matroid.block(3) == 1
+        assert matroid.capacity(0) == 2
+        assert matroid.capacity(99) == 1  # default
+
+    @given(
+        st.lists(st.integers(0, 11), min_size=0, max_size=12, unique=True),
+        st.lists(st.integers(0, 11), min_size=0, max_size=12, unique=True),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_augmentation_axiom(self, raw_a, raw_b):
+        """For any two independent sets with |A| < |B|, some element of B \\ A
+        can be added to A keeping it independent."""
+        matroid = PartitionMatroid(range(12), block_of=lambda x: x % 4,
+                                   default_capacity=2)
+        a = {x for x in raw_a}
+        b = {x for x in raw_b}
+        if not matroid.is_independent(a) or not matroid.is_independent(b):
+            return
+        if len(a) >= len(b):
+            return
+        assert any(matroid.is_independent(a | {x}) for x in b - a)
+
+
+class TestDisplayConstraintMatroid(object):
+    def test_lemma2_construction(self):
+        instance = build_random_instance(
+            num_users=3, num_items=3, num_classes=2, horizon=2,
+            display_limit=2, seed=0,
+        )
+        matroid = display_constraint_matroid(instance)
+        candidates = list(instance.candidate_triples())
+        assert set(matroid.ground_set) == set(candidates)
+        # Any two triples of the same user at the same time are fine (k = 2),
+        # three are not.
+        per_slot = {}
+        for triple in candidates:
+            per_slot.setdefault((triple.user, triple.t), []).append(triple)
+        for slot, triples in per_slot.items():
+            if len(triples) >= 3:
+                assert matroid.is_independent(triples[:2])
+                assert not matroid.is_independent(triples[:3])
+
+    def test_matroid_independence_equals_display_validity(self):
+        """A triple set is independent iff it satisfies the display constraint."""
+        from repro.core.constraints import DisplayConstraint
+        from repro.core.strategy import Strategy
+
+        instance = build_random_instance(
+            num_users=2, num_items=3, num_classes=2, horizon=2,
+            display_limit=1, seed=5,
+        )
+        matroid = display_constraint_matroid(instance)
+        constraint = DisplayConstraint(instance)
+        candidates = list(instance.candidate_triples())
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            size = int(rng.integers(0, min(6, len(candidates)) + 1))
+            subset = [candidates[i] for i in
+                      rng.choice(len(candidates), size=size, replace=False)]
+            strategy = Strategy(instance.catalog, subset)
+            display_ok = not constraint.violations(strategy)
+            assert matroid.is_independent(subset) == display_ok

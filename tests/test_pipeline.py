@@ -1,0 +1,112 @@
+"""Tests for the §6.1 dataset -> REVMAX instance pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import ConstraintChecker
+from repro.datasets.amazon_like import AmazonLikeConfig, generate_amazon_like
+from repro.datasets.epinions_like import EpinionsLikeConfig, generate_epinions_like
+from repro.datasets.pipeline import PipelineConfig, build_instance, run_pipeline
+from repro.recsys.mf import MFConfig
+
+
+@pytest.fixture(scope="module")
+def amazon_dataset():
+    return generate_amazon_like(AmazonLikeConfig(num_users=60, num_items=30, seed=5))
+
+
+@pytest.fixture(scope="module")
+def epinions_dataset():
+    return generate_epinions_like(EpinionsLikeConfig(num_users=50, num_items=24, seed=5))
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return PipelineConfig(
+        num_candidates=8,
+        mf_config=MFConfig(num_factors=4, num_epochs=4, seed=0),
+        seed=0,
+    )
+
+
+class TestPipelineOnAmazon:
+    def test_produces_consistent_instance(self, amazon_dataset, fast_config):
+        result = run_pipeline(amazon_dataset, fast_config)
+        instance = result.instance
+        assert instance.num_users == amazon_dataset.num_users
+        assert instance.num_items == amazon_dataset.num_items
+        assert instance.horizon == amazon_dataset.horizon
+        assert instance.display_limit == fast_config.display_limit
+        assert instance.num_candidate_triples() > 0
+        # Exact prices flow through untouched.
+        assert np.allclose(instance.prices, amazon_dataset.prices)
+
+    def test_probabilities_are_valid(self, amazon_dataset, fast_config):
+        instance = build_instance(amazon_dataset, fast_config)
+        for (user, item) in list(instance.adoption.pairs())[:50]:
+            vector = instance.adoption.get(user, item)
+            assert np.all((vector >= 0.0) & (vector <= 1.0))
+
+    def test_candidates_respect_top_n(self, amazon_dataset, fast_config):
+        result = run_pipeline(amazon_dataset, fast_config)
+        assert all(
+            len(candidates) <= fast_config.num_candidates
+            for candidates in result.candidates.values()
+        )
+
+    def test_every_candidate_pair_has_valuation(self, amazon_dataset, fast_config):
+        result = run_pipeline(amazon_dataset, fast_config)
+        assert set(result.valuations) == set(range(amazon_dataset.num_items))
+
+    def test_capacity_and_beta_settings_applied(self, amazon_dataset):
+        config = PipelineConfig(
+            num_candidates=6,
+            mf_config=MFConfig(num_factors=4, num_epochs=3, seed=0),
+            beta_mode="fixed",
+            beta_value=0.25,
+            capacity_distribution="uniform",
+            seed=3,
+        )
+        instance = build_instance(amazon_dataset, config)
+        assert np.all(instance.betas == 0.25)
+        assert np.all(instance.capacities >= 1)
+
+
+class TestPipelineOnEpinions:
+    def test_kde_prices_are_generated(self, epinions_dataset, fast_config):
+        result = run_pipeline(epinions_dataset, fast_config)
+        assert result.prices.shape == (epinions_dataset.num_items,
+                                       epinions_dataset.horizon)
+        assert np.all(result.prices > 0)
+
+    def test_kde_prices_track_reported_prices(self, epinions_dataset, fast_config):
+        result = run_pipeline(epinions_dataset, fast_config)
+        for item, reports in list(epinions_dataset.reported_prices.items())[:10]:
+            sampled_mean = result.prices[item].mean()
+            reported_mean = np.mean(reports)
+            assert sampled_mean == pytest.approx(reported_mean, rel=0.5)
+
+    def test_instance_usable_by_algorithms(self, epinions_dataset, fast_config):
+        from repro.algorithms.global_greedy import GlobalGreedy
+
+        instance = build_instance(epinions_dataset, fast_config)
+        result = GlobalGreedy().run(instance)
+        assert result.revenue > 0
+        ConstraintChecker(instance).check(result.strategy)
+
+    def test_price_affects_adoption_probability(self, epinions_dataset, fast_config):
+        """Within a candidate pair, the cheapest day has the highest q."""
+        result = run_pipeline(epinions_dataset, fast_config)
+        instance = result.instance
+        monotone_checks = 0
+        for (user, item) in list(instance.adoption.pairs())[:40]:
+            vector = instance.adoption.get(user, item)
+            prices = instance.prices[item]
+            if np.ptp(prices) < 1e-9 or np.ptp(vector) < 1e-12:
+                continue
+            cheapest = int(np.argmin(prices))
+            assert vector[cheapest] == pytest.approx(np.max(vector), rel=1e-9)
+            monotone_checks += 1
+        assert monotone_checks > 0

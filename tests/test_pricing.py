@@ -1,0 +1,234 @@
+"""Tests for the pricing substrate: KDE, valuations, price series, adoption."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.problem import AdoptionTable
+from repro.pricing.adoption import AdoptionEstimator
+from repro.pricing.kde import GaussianKDE, silverman_bandwidth
+from repro.pricing.price_series import (
+    ExactPriceModel,
+    generate_price_matrix,
+    generate_price_series,
+    prices_from_kde,
+)
+from repro.pricing.valuation import EmpiricalValuation, GaussianValuation
+from repro.recsys.topk import Candidate
+
+
+class TestSilvermanBandwidth:
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            silverman_bandwidth([])
+
+    def test_matches_formula(self):
+        samples = [10.0, 12.0, 9.0, 15.0, 11.0]
+        sigma = np.std(samples, ddof=1)
+        expected = (4.0 * sigma ** 5 / (3.0 * len(samples))) ** 0.2
+        assert silverman_bandwidth(samples) == pytest.approx(expected)
+
+    def test_degenerate_sample_gets_positive_bandwidth(self):
+        assert silverman_bandwidth([5.0, 5.0, 5.0]) > 0.0
+        assert silverman_bandwidth([7.0]) > 0.0
+
+
+class TestGaussianKDE:
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianKDE([])
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianKDE([1.0, 2.0], bandwidth=0.0)
+
+    def test_pdf_integrates_to_one(self):
+        kde = GaussianKDE([10.0, 20.0, 30.0, 12.0, 25.0])
+        grid = np.linspace(-50, 100, 4000)
+        density = kde.pdf(grid)
+        integral = np.trapezoid(density, grid)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_cdf_monotone_and_bounded(self):
+        kde = GaussianKDE([5.0, 7.0, 9.0])
+        grid = np.linspace(-10, 30, 200)
+        cdf = kde.cdf(grid)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[0] >= 0.0
+        assert cdf[-1] <= 1.0 + 1e-9
+        assert kde.cdf([kde.mean])[0] == pytest.approx(0.5, abs=0.1)
+
+    def test_survival_complements_cdf(self):
+        kde = GaussianKDE([3.0, 4.0, 5.0])
+        x = np.array([2.0, 4.0, 6.0])
+        assert np.allclose(kde.cdf(x) + kde.survival(x), 1.0)
+
+    def test_mean_and_variance(self):
+        samples = [10.0, 20.0, 30.0]
+        kde = GaussianKDE(samples, bandwidth=2.0)
+        assert kde.mean == pytest.approx(20.0)
+        assert kde.variance == pytest.approx(np.var(samples) + 4.0)
+
+    def test_sampling_statistics(self):
+        kde = GaussianKDE([50.0, 60.0, 55.0, 52.0], bandwidth=1.0)
+        rng = np.random.default_rng(0)
+        draws = kde.sample(5000, rng=rng)
+        assert draws.min() >= 0.0
+        assert np.mean(draws) == pytest.approx(kde.mean, abs=1.0)
+
+    def test_sample_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GaussianKDE([1.0]).sample(0)
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=1000.0),
+                    min_size=2, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_property_cdf_in_unit_interval(self, samples):
+        kde = GaussianKDE(samples)
+        probe = np.linspace(min(samples) - 10, max(samples) + 10, 15)
+        cdf = kde.cdf(probe)
+        assert np.all((cdf >= -1e-9) & (cdf <= 1.0 + 1e-9))
+
+
+class TestValuations:
+    def test_gaussian_valuation_survival(self):
+        valuation = GaussianValuation(mean=100.0, std=10.0)
+        assert valuation.acceptance_probability(100.0) == pytest.approx(0.5)
+        assert valuation.acceptance_probability(80.0) > 0.95
+        assert valuation.acceptance_probability(120.0) < 0.05
+
+    def test_gaussian_valuation_monotone_in_price(self):
+        valuation = GaussianValuation(mean=50.0, std=5.0)
+        prices = np.linspace(30, 70, 20)
+        probabilities = valuation.acceptance_probabilities(prices)
+        assert np.all(np.diff(probabilities) <= 1e-12)
+
+    def test_invalid_std_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianValuation(mean=10.0, std=0.0)
+
+    def test_from_reported_prices_matches_kde_summary(self):
+        reports = [90.0, 110.0, 95.0, 105.0, 100.0]
+        valuation = GaussianValuation.from_reported_prices(reports)
+        kde = GaussianKDE(reports)
+        assert valuation.mean == pytest.approx(kde.mean)
+        assert valuation.std == pytest.approx(np.sqrt(kde.variance))
+
+    def test_empirical_valuation_clamped(self):
+        kde = GaussianKDE([10.0, 12.0, 11.0])
+        valuation = EmpiricalValuation(kde)
+        assert 0.0 <= valuation.acceptance_probability(0.0) <= 1.0
+        assert valuation.acceptance_probability(100.0) == pytest.approx(0.0, abs=1e-6)
+        assert valuation.acceptance_probability(0.0) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestPriceSeries:
+    def test_exact_price_model_accessors(self):
+        prices = np.array([[10.0, 12.0, 8.0], [20.0, 22.0, 25.0]])
+        model = ExactPriceModel(prices)
+        assert model.num_items == 2
+        assert model.horizon == 3
+        assert model.price(0, 2) == 8.0
+        assert model.min_price_time(0) == 2
+        assert model.max_price_time(1) == 2
+        assert np.array_equal(model.series(1), prices[1])
+
+    def test_exact_price_model_validation(self):
+        with pytest.raises(ValueError):
+            ExactPriceModel(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            ExactPriceModel(np.array([[-1.0, 2.0]]))
+
+    def test_generate_price_series_properties(self):
+        rng = np.random.default_rng(0)
+        series = generate_price_series(100.0, horizon=7, rng=rng)
+        assert series.shape == (7,)
+        assert np.all(series > 0)
+        with pytest.raises(ValueError):
+            generate_price_series(0.0, 7, rng)
+        with pytest.raises(ValueError):
+            generate_price_series(10.0, 0, rng)
+
+    def test_generate_price_matrix_shape(self):
+        matrix = generate_price_matrix([10.0, 200.0, 50.0], horizon=5,
+                                       rng=np.random.default_rng(1))
+        assert matrix.shape == (3, 5)
+        assert np.all(matrix > 0)
+
+    def test_sales_lower_prices_sometimes(self):
+        rng = np.random.default_rng(3)
+        saw_discount = False
+        for _ in range(50):
+            series = generate_price_series(
+                100.0, 7, rng, fluctuation=0.0, sale_probability=1.0, sale_depth=0.5
+            )
+            if series.min() < 60.0:
+                saw_discount = True
+                break
+        assert saw_discount
+
+    def test_prices_from_kde(self):
+        reported = {0: [10.0, 12.0, 11.0], 2: [100.0, 90.0, 95.0]}
+        prices = prices_from_kde(reported, num_items=3, horizon=4,
+                                 rng=np.random.default_rng(0), fallback_price=42.0)
+        assert prices.shape == (3, 4)
+        assert np.all(prices[1] == 42.0)           # no reports -> fallback
+        assert abs(prices[0].mean() - 11.0) < 5.0
+        assert abs(prices[2].mean() - 95.0) < 20.0
+
+
+class TestAdoptionEstimator:
+    def _estimator(self):
+        valuations = {
+            0: GaussianValuation(mean=100.0, std=10.0),
+            1: GaussianValuation(mean=50.0, std=5.0),
+        }
+        return AdoptionEstimator(valuations=valuations, max_rating=5.0)
+
+    def test_probability_combines_interest_and_affordability(self):
+        estimator = self._estimator()
+        # Rating 5/5 and price at the valuation mean: probability ~ 0.5.
+        assert estimator.probability(5.0, 0, 100.0) == pytest.approx(0.5, abs=1e-6)
+        # Rating 2.5/5 halves it.
+        assert estimator.probability(2.5, 0, 100.0) == pytest.approx(0.25, abs=1e-6)
+
+    def test_unknown_item_has_zero_probability(self):
+        estimator = self._estimator()
+        assert estimator.probability(5.0, 99, 10.0) == 0.0
+
+    def test_probability_decreases_with_price(self):
+        estimator = self._estimator()
+        cheap = estimator.probability(4.0, 1, 40.0)
+        pricey = estimator.probability(4.0, 1, 60.0)
+        assert cheap > pricey
+
+    def test_min_probability_clamped_to_zero(self):
+        estimator = AdoptionEstimator(
+            valuations={0: GaussianValuation(100.0, 1.0)}, max_rating=5.0,
+            min_probability=0.01,
+        )
+        assert estimator.probability(5.0, 0, 130.0) == 0.0
+
+    def test_invalid_max_rating(self):
+        estimator = AdoptionEstimator(valuations={}, max_rating=0.0)
+        with pytest.raises(ValueError):
+            estimator.probability(3.0, 0, 10.0)
+
+    def test_build_table(self):
+        estimator = self._estimator()
+        candidates = {
+            0: [Candidate(user=0, item=0, predicted_rating=4.5),
+                Candidate(user=0, item=1, predicted_rating=3.0)],
+            1: [Candidate(user=1, item=1, predicted_rating=5.0)],
+        }
+        prices = np.array([[90.0, 95.0], [45.0, 55.0]])
+        table = estimator.build_table(candidates, prices)
+        assert isinstance(table, AdoptionTable)
+        assert table.horizon == 2
+        assert (0, 0) in table
+        assert (1, 1) in table
+        assert 0.0 <= table.probability(0, 0, 1) <= 1.0
+        # Lower price at t=0 for item 1 means higher probability than at t=1.
+        assert table.probability(1, 1, 0) > table.probability(1, 1, 1)

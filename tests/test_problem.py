@@ -1,0 +1,175 @@
+"""Tests for AdoptionTable and RevMaxInstance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.entities import ItemCatalog, Triple
+from repro.core.problem import AdoptionTable, RevMaxInstance
+
+
+class TestAdoptionTable:
+    def test_requires_positive_horizon(self):
+        with pytest.raises(ValueError):
+            AdoptionTable(0)
+
+    def test_set_and_get(self):
+        table = AdoptionTable(3)
+        table.set(0, 1, [0.1, 0.2, 0.3])
+        assert table.probability(0, 1, 2) == pytest.approx(0.3)
+        assert (0, 1) in table
+        assert (0, 2) not in table
+
+    def test_missing_pair_has_zero_probability(self):
+        table = AdoptionTable(2)
+        assert table.probability(5, 5, 1) == 0.0
+        assert table.get(5, 5) is None
+
+    def test_wrong_length_rejected(self):
+        table = AdoptionTable(3)
+        with pytest.raises(ValueError):
+            table.set(0, 0, [0.1, 0.2])
+
+    def test_out_of_range_probability_rejected(self):
+        table = AdoptionTable(2)
+        with pytest.raises(ValueError):
+            table.set(0, 0, [0.5, 1.5])
+        with pytest.raises(ValueError):
+            table.set(0, 0, [-0.1, 0.5])
+
+    def test_overwrite_does_not_duplicate_user_items(self):
+        table = AdoptionTable(2)
+        table.set(0, 1, [0.1, 0.2])
+        table.set(0, 1, [0.3, 0.4])
+        assert table.items_for_user(0) == [1]
+        assert table.probability(0, 1, 0) == pytest.approx(0.3)
+
+    def test_positive_triples_enumeration(self):
+        table = AdoptionTable(3)
+        table.set(0, 0, [0.0, 0.5, 0.0])
+        table.set(1, 2, [0.3, 0.0, 0.7])
+        triples = set(table.positive_triples())
+        assert triples == {Triple(0, 0, 1), Triple(1, 2, 0), Triple(1, 2, 2)}
+        assert table.num_positive_triples() == 3
+
+    def test_users_and_pairs(self):
+        table = AdoptionTable(1)
+        table.set(3, 1, [0.5])
+        table.set(4, 2, [0.6])
+        assert sorted(table.users()) == [3, 4]
+        assert sorted(table.pairs()) == [(3, 1), (4, 2)]
+
+
+def _make_instance(**overrides):
+    defaults = dict(
+        prices=np.array([[10.0, 12.0], [20.0, 18.0]]),
+        adoption={(0, 0): [0.5, 0.4], (0, 1): [0.2, 0.3], (1, 1): [0.6, 0.1]},
+        item_class=[0, 0],
+        capacities=2,
+        betas=0.5,
+        display_limit=1,
+        num_users=2,
+        name="test-instance",
+    )
+    defaults.update(overrides)
+    return RevMaxInstance.from_dense_adoption(**defaults)
+
+
+class TestRevMaxInstance:
+    def test_basic_accessors(self):
+        instance = _make_instance()
+        assert instance.num_items == 2
+        assert instance.horizon == 2
+        assert instance.price(1, 0) == 20.0
+        assert instance.capacity(0) == 2
+        assert instance.beta(1) == 0.5
+        assert instance.class_of(1) == 0
+        assert instance.probability(0, 0, 1) == pytest.approx(0.4)
+
+    def test_candidate_triples_and_users(self):
+        instance = _make_instance()
+        assert instance.num_candidate_triples() == 6
+        assert sorted(instance.users()) == [0, 1]
+        assert instance.candidate_items(0) == [0, 1]
+
+    def test_expected_isolated_revenue(self):
+        instance = _make_instance()
+        triple = Triple(0, 0, 0)
+        assert instance.expected_isolated_revenue(triple) == pytest.approx(10.0 * 0.5)
+
+    def test_price_shape_validation(self):
+        with pytest.raises(ValueError):
+            RevMaxInstance(
+                num_users=1,
+                catalog=ItemCatalog(item_class=[0]),
+                horizon=2,
+                display_limit=1,
+                prices=np.zeros((2, 2)),
+                capacities=np.ones(1, dtype=int),
+                betas=np.ones(1),
+                adoption=AdoptionTable(2),
+            )
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            _make_instance(prices=np.array([[-1.0, 2.0], [3.0, 4.0]]))
+
+    def test_beta_range_validated(self):
+        with pytest.raises(ValueError):
+            _make_instance(betas=1.5)
+
+    def test_nonpositive_display_limit_rejected(self):
+        with pytest.raises(ValueError):
+            _make_instance(display_limit=0)
+
+    def test_horizon_mismatch_rejected(self):
+        table = AdoptionTable(3)
+        table.set(0, 0, [0.5, 0.5, 0.5])
+        with pytest.raises(ValueError):
+            RevMaxInstance(
+                num_users=1,
+                catalog=ItemCatalog(item_class=[0]),
+                horizon=2,
+                display_limit=1,
+                prices=np.ones((1, 2)),
+                capacities=np.ones(1, dtype=int),
+                betas=np.ones(1),
+                adoption=table,
+            )
+
+    def test_with_singleton_classes(self):
+        instance = _make_instance()
+        singleton = instance.with_singleton_classes()
+        assert singleton.catalog.num_classes == 2
+        assert instance.catalog.num_classes == 1
+        assert singleton.num_candidate_triples() == instance.num_candidate_triples()
+
+    def test_with_betas_scalar_and_array(self):
+        instance = _make_instance()
+        scalar = instance.with_betas(0.9)
+        assert scalar.beta(0) == 0.9
+        array = instance.with_betas([0.2, 0.3])
+        assert array.beta(1) == pytest.approx(0.3)
+        # original untouched
+        assert instance.beta(0) == 0.5
+
+    def test_with_capacities(self):
+        instance = _make_instance()
+        modified = instance.with_capacities(1)
+        assert modified.capacity(0) == 1
+        assert instance.capacity(0) == 2
+
+    def test_restricted_to_horizon(self):
+        instance = _make_instance()
+        restricted = instance.restricted_to_horizon([1])
+        assert restricted.horizon == 1
+        assert restricted.price(0, 0) == pytest.approx(12.0)
+        assert restricted.probability(0, 0, 0) == pytest.approx(0.4)
+
+    def test_restricted_to_horizon_requires_contiguity(self):
+        instance = _make_instance()
+        with pytest.raises(ValueError):
+            instance.restricted_to_horizon([0, 2])
+        with pytest.raises(ValueError):
+            instance.restricted_to_horizon([])

@@ -1,0 +1,134 @@
+"""Tests for the random-price extension (§7): Taylor revenue approximation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.entities import ItemCatalog, Triple
+from repro.core.random_prices import PriceDistribution, TaylorRevenueModel
+
+
+class TestPriceDistribution:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PriceDistribution(np.ones((2, 3)), np.ones((3, 2)))
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            PriceDistribution(np.ones((1, 2)), -np.ones((1, 2)))
+
+    def test_covariance_lookup_independent_items(self):
+        distribution = PriceDistribution(np.ones((2, 2)) * 10, np.ones((2, 2)) * 4)
+        assert distribution.covariance(0, 0, 1, 0) == 0.0
+        assert distribution.covariance(0, 1, 0, 1) == 4.0
+        assert distribution.covariance(0, 0, 0, 1) == 0.0
+
+    def test_item_covariance_matrix(self):
+        cov = np.array([[4.0, 1.0], [1.0, 9.0]])
+        distribution = PriceDistribution(
+            np.ones((1, 2)) * 10, np.ones((1, 2)), item_covariances={0: cov}
+        )
+        assert distribution.covariance(0, 0, 0, 1) == 1.0
+        assert distribution.covariance(0, 1, 0, 1) == 9.0
+
+    def test_bad_covariance_shape_rejected(self):
+        with pytest.raises(ValueError):
+            PriceDistribution(np.ones((1, 2)), np.ones((1, 2)),
+                              item_covariances={0: np.ones((3, 3))})
+
+    def test_sampling_statistics(self):
+        means = np.array([[100.0, 50.0]])
+        variances = np.array([[25.0, 4.0]])
+        distribution = PriceDistribution(means, variances)
+        rng = np.random.default_rng(0)
+        samples = np.stack([distribution.sample(rng) for _ in range(3000)])
+        assert samples.min() >= 0.0
+        assert samples[:, 0, 0].mean() == pytest.approx(100.0, abs=1.0)
+        assert samples[:, 0, 0].std() == pytest.approx(5.0, abs=0.5)
+
+
+def _build_model(price_std=10.0, horizon=2):
+    catalog = ItemCatalog.from_assignment([0, 0])
+    means = np.array([[100.0] * horizon, [80.0] * horizon])
+    variances = np.full((2, horizon), price_std ** 2)
+    distribution = PriceDistribution(means, variances)
+
+    def adoption_given_price(user, item, t, price):
+        # Affordability falls off linearly with price (kept in [0, 1]); this is
+        # intentionally non-linear *in revenue* (revenue = p * q is quadratic),
+        # so the second-order Taylor term matters.
+        return float(np.clip(1.5 - price / 100.0, 0.0, 1.0))
+
+    pairs = [(0, 0), (0, 1), (1, 0), (1, 1)]
+    return TaylorRevenueModel(
+        num_users=2,
+        catalog=catalog,
+        display_limit=1,
+        capacities=5,
+        betas=0.5,
+        price_distribution=distribution,
+        adoption_given_price=adoption_given_price,
+        candidate_pairs=pairs,
+    )
+
+
+class TestTaylorRevenueModel:
+    def test_mean_price_instance_structure(self):
+        model = _build_model()
+        instance = model.mean_price_instance()
+        assert instance.num_items == 2
+        assert instance.horizon == 2
+        assert instance.probability(0, 0, 0) == pytest.approx(0.5)
+
+    def test_revenue_at_mean_prices_matches_expected_price_estimate(self):
+        model = _build_model()
+        triples = [Triple(0, 0, 0), Triple(1, 1, 1)]
+        assert model.expected_price_revenue(triples) == pytest.approx(
+            model.revenue_at_prices(triples, np.array([[100.0, 100.0], [80.0, 80.0]]))
+        )
+
+    def test_monte_carlo_requires_positive_samples(self):
+        model = _build_model()
+        with pytest.raises(ValueError):
+            model.monte_carlo_revenue([Triple(0, 0, 0)], num_samples=0)
+
+    def test_taylor_correction_moves_toward_monte_carlo(self):
+        """With q linear in price, revenue p*q is quadratic, so the exact
+        expectation differs from the mean-price value by a variance term that
+        the second-order Taylor expansion captures."""
+        model = _build_model(price_std=15.0)
+        triples = [Triple(0, 0, 0), Triple(1, 0, 0)]
+        mean_estimate = model.expected_price_revenue(triples)
+        taylor_estimate = model.taylor_revenue(triples)
+        monte_carlo = model.monte_carlo_revenue(triples, num_samples=4000, seed=1)
+        assert abs(taylor_estimate - monte_carlo) < abs(mean_estimate - monte_carlo)
+
+    def test_taylor_equals_mean_estimate_when_variance_zero(self):
+        model = _build_model(price_std=0.0)
+        triples = [Triple(0, 0, 0), Triple(0, 1, 1)]
+        assert model.taylor_revenue(triples) == pytest.approx(
+            model.expected_price_revenue(triples)
+        )
+
+    def test_quadratic_revenue_taylor_is_nearly_exact(self):
+        """For a single triple, revenue(p) = p * q(p) is exactly quadratic in p,
+        so the second-order expansion should match the analytic expectation
+        E[p*q(p)] = mean*q(mean) - slope*var (up to the clipping tails)."""
+        std = 5.0
+        model = _build_model(price_std=std)
+        triples = [Triple(0, 0, 0)]
+        taylor = model.taylor_revenue(triples)
+        mean_estimate = model.expected_price_revenue(triples)
+        analytic = mean_estimate - (1.0 / 100.0) * std ** 2
+        assert taylor == pytest.approx(analytic, rel=0.02)
+
+    def test_strategy_planned_on_mean_instance_is_evaluable(self):
+        from repro.algorithms.global_greedy import GlobalGreedy
+
+        model = _build_model()
+        instance = model.mean_price_instance()
+        strategy = GlobalGreedy().build_strategy(instance)
+        triples = strategy.sorted_triples()
+        assert model.taylor_revenue(triples) > 0
+        assert model.monte_carlo_revenue(triples, num_samples=50, seed=0) > 0

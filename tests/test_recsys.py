@@ -1,0 +1,230 @@
+"""Tests for the recommender substrate: ratings, MF, evaluation, top-k."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.recsys.evaluation import cross_validate, evaluate_model, mae, rmse
+from repro.recsys.mf import MatrixFactorization, MFConfig
+from repro.recsys.ratings import RatingsMatrix
+from repro.recsys.topk import top_candidates, top_candidates_for_user
+
+
+def _structured_ratings(num_users=40, num_items=20, per_user=8, seed=0):
+    """Ratings with latent structure so MF has signal to learn."""
+    rng = np.random.default_rng(seed)
+    user_factors = rng.normal(size=(num_users, 3))
+    item_factors = rng.normal(size=(num_items, 3))
+    ratings = RatingsMatrix(num_users, num_items)
+    for user in range(num_users):
+        items = rng.choice(num_items, size=per_user, replace=False)
+        for item in items:
+            value = 3.0 + user_factors[user] @ item_factors[item] * 0.7
+            value += rng.normal(0, 0.3)
+            ratings.add(user, int(item), float(np.clip(value, 1.0, 5.0)))
+    return ratings
+
+
+class TestRatingsMatrix:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            RatingsMatrix(0, 5)
+        with pytest.raises(ValueError):
+            RatingsMatrix(5, 5, rating_scale=(5.0, 1.0))
+
+    def test_add_and_get(self):
+        ratings = RatingsMatrix(3, 3)
+        ratings.add(0, 1, 4.0)
+        assert ratings.get(0, 1) == 4.0
+        assert ratings.get(0, 2) is None
+        assert len(ratings) == 1
+
+    def test_out_of_range_ids_rejected(self):
+        ratings = RatingsMatrix(2, 2)
+        with pytest.raises(ValueError):
+            ratings.add(5, 0, 3.0)
+        with pytest.raises(ValueError):
+            ratings.add(0, 5, 3.0)
+
+    def test_out_of_scale_rating_rejected(self):
+        ratings = RatingsMatrix(2, 2)
+        with pytest.raises(ValueError):
+            ratings.add(0, 0, 6.0)
+
+    def test_rerating_overwrites(self):
+        ratings = RatingsMatrix(2, 2)
+        ratings.add(0, 0, 2.0)
+        ratings.add(0, 0, 5.0)
+        assert ratings.get(0, 0) == 5.0
+        assert len(ratings) == 1
+
+    def test_user_and_item_views(self):
+        ratings = RatingsMatrix(3, 3)
+        ratings.add_many([(0, 0, 3.0), (0, 1, 4.0), (1, 1, 2.0)])
+        assert len(ratings.user_ratings(0)) == 2
+        assert len(ratings.item_ratings(1)) == 2
+        assert ratings.rated_items(0) == [0, 1]
+        assert ratings.item_rating_counts() == {0: 1, 1: 2}
+
+    def test_density_and_global_mean(self):
+        ratings = RatingsMatrix(2, 2)
+        assert ratings.global_mean() == 0.0
+        ratings.add_many([(0, 0, 2.0), (1, 1, 4.0)])
+        assert ratings.density() == pytest.approx(0.5)
+        assert ratings.global_mean() == pytest.approx(3.0)
+
+    def test_filter_items_with_min_ratings(self):
+        ratings = RatingsMatrix(4, 2)
+        ratings.add_many([(0, 0, 3.0), (1, 0, 4.0), (2, 0, 5.0), (0, 1, 2.0)])
+        filtered = ratings.filter_items_with_min_ratings(2)
+        assert len(filtered.item_ratings(0)) == 3
+        assert len(filtered.item_ratings(1)) == 0
+
+    def test_split_partitions_all_ratings(self):
+        ratings = _structured_ratings(num_users=10, num_items=8, per_user=4)
+        train, test = ratings.split(0.25, seed=1)
+        assert len(train) + len(test) == len(ratings)
+        assert len(test) == pytest.approx(0.25 * len(ratings), abs=1)
+
+    def test_split_invalid_fraction(self):
+        ratings = _structured_ratings(num_users=5, num_items=5, per_user=2)
+        with pytest.raises(ValueError):
+            ratings.split(0.0)
+
+    def test_k_folds_cover_everything_once(self):
+        ratings = _structured_ratings(num_users=10, num_items=8, per_user=3)
+        folds = ratings.k_folds(4, seed=0)
+        assert len(folds) == 4
+        total_test = sum(len(test) for _, test in folds)
+        assert total_test == len(ratings)
+        for train, test in folds:
+            assert len(train) + len(test) == len(ratings)
+
+    def test_k_folds_requires_k_at_least_two(self):
+        ratings = _structured_ratings(num_users=5, num_items=5, per_user=2)
+        with pytest.raises(ValueError):
+            ratings.k_folds(1)
+
+    def test_to_arrays(self):
+        ratings = RatingsMatrix(2, 2)
+        ratings.add_many([(0, 1, 3.0), (1, 0, 4.0)])
+        users, items, values = ratings.to_arrays()
+        assert users.tolist() == [0, 1]
+        assert items.tolist() == [1, 0]
+        assert values.tolist() == [3.0, 4.0]
+
+
+class TestMatrixFactorization:
+    def test_fit_on_empty_matrix_raises(self):
+        with pytest.raises(ValueError):
+            MatrixFactorization().fit(RatingsMatrix(3, 3))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MatrixFactorization().predict(0, 0)
+
+    def test_training_error_decreases(self):
+        ratings = _structured_ratings()
+        model = MatrixFactorization(MFConfig(num_factors=6, num_epochs=15, seed=0))
+        model.fit(ratings)
+        errors = model.training_rmse_per_epoch
+        assert len(errors) == 15
+        assert errors[-1] < errors[0]
+
+    def test_predictions_within_rating_scale(self):
+        ratings = _structured_ratings()
+        model = MatrixFactorization(MFConfig(num_epochs=5, seed=0)).fit(ratings)
+        for user in range(5):
+            for item in range(5):
+                assert 1.0 <= model.predict(user, item) <= 5.0
+
+    def test_predict_for_user_matches_pointwise(self):
+        ratings = _structured_ratings()
+        model = MatrixFactorization(MFConfig(num_epochs=5, seed=0)).fit(ratings)
+        batch = model.predict_for_user(2, [0, 1, 2])
+        pointwise = [model.predict(2, item) for item in range(3)]
+        assert np.allclose(batch, pointwise)
+
+    def test_fit_recovers_signal_better_than_global_mean(self):
+        ratings = _structured_ratings(num_users=60, num_items=25, per_user=10)
+        train, test = ratings.split(0.2, seed=3)
+        model = MatrixFactorization(MFConfig(num_factors=6, num_epochs=25,
+                                             learning_rate=0.02, seed=0)).fit(train)
+        model_rmse = evaluate_model(model, test)
+        mean = train.global_mean()
+        baseline_rmse = rmse([mean] * len(test), [r.value for r in test])
+        assert model_rmse < baseline_rmse
+
+    def test_num_parameters(self):
+        ratings = _structured_ratings(num_users=10, num_items=8, per_user=3)
+        config = MFConfig(num_factors=4, num_epochs=2, seed=0)
+        model = MatrixFactorization(config).fit(ratings)
+        expected = 10 * 4 + 8 * 4 + 10 + 8
+        assert model.num_parameters == expected
+
+    def test_unbiased_variant(self):
+        ratings = _structured_ratings(num_users=10, num_items=8, per_user=3)
+        config = MFConfig(num_factors=4, num_epochs=2, use_biases=False, seed=0)
+        model = MatrixFactorization(config).fit(ratings)
+        assert model.num_parameters == 10 * 4 + 8 * 4
+
+
+class TestEvaluation:
+    def test_rmse_and_mae_basics(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+        assert mae([1.0, 3.0], [2.0, 5.0]) == pytest.approx(1.5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            mae([], [])
+
+    def test_cross_validation_reports_folds(self):
+        ratings = _structured_ratings(num_users=30, num_items=15, per_user=6)
+        result = cross_validate(
+            ratings, MFConfig(num_factors=4, num_epochs=5, seed=0), num_folds=3
+        )
+        assert len(result.fold_rmse) == 3
+        assert 0.0 < result.mean_rmse < 2.5
+        assert result.std_rmse >= 0.0
+
+
+class TestTopK:
+    def test_top_candidates_excludes_rated_items(self):
+        ratings = _structured_ratings(num_users=10, num_items=10, per_user=4)
+        model = MatrixFactorization(MFConfig(num_epochs=5, seed=0)).fit(ratings)
+        rated = set(ratings.rated_items(0))
+        candidates = top_candidates_for_user(model, ratings, 0, num_candidates=5)
+        assert all(c.item not in rated for c in candidates)
+        assert len(candidates) <= 5
+
+    def test_candidates_sorted_by_prediction(self):
+        ratings = _structured_ratings(num_users=10, num_items=10, per_user=3)
+        model = MatrixFactorization(MFConfig(num_epochs=5, seed=0)).fit(ratings)
+        candidates = top_candidates_for_user(model, ratings, 1, num_candidates=6)
+        predictions = [c.predicted_rating for c in candidates]
+        assert predictions == sorted(predictions, reverse=True)
+
+    def test_min_predicted_rating_threshold(self):
+        ratings = _structured_ratings(num_users=10, num_items=10, per_user=3)
+        model = MatrixFactorization(MFConfig(num_epochs=5, seed=0)).fit(ratings)
+        candidates = top_candidates_for_user(
+            model, ratings, 0, num_candidates=10, min_predicted_rating=6.0
+        )
+        assert candidates == []
+
+    def test_invalid_num_candidates(self):
+        ratings = _structured_ratings(num_users=5, num_items=5, per_user=2)
+        model = MatrixFactorization(MFConfig(num_epochs=2, seed=0)).fit(ratings)
+        with pytest.raises(ValueError):
+            top_candidates_for_user(model, ratings, 0, num_candidates=0)
+
+    def test_top_candidates_for_all_users(self):
+        ratings = _structured_ratings(num_users=8, num_items=10, per_user=3)
+        model = MatrixFactorization(MFConfig(num_epochs=3, seed=0)).fit(ratings)
+        by_user = top_candidates(model, ratings, num_candidates=4)
+        assert set(by_user) == set(range(8))
+        assert all(len(candidates) <= 4 for candidates in by_user.values())

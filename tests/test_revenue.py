@@ -1,0 +1,218 @@
+"""Tests for the dynamic revenue model (Definitions 1-3 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.entities import Triple
+from repro.core.problem import RevMaxInstance
+from repro.core.revenue import (
+    RevenueModel,
+    group_dynamic_probability,
+    group_revenue,
+    memory_term,
+)
+from repro.core.strategy import Strategy
+
+from tests.conftest import build_random_instance
+
+
+class TestMemoryTerm:
+    def test_no_earlier_triples(self):
+        assert memory_term([Triple(0, 0, 2)], 1) == 0.0
+        assert memory_term([], 3) == 0.0
+
+    def test_single_earlier_triple(self):
+        # One recommendation one step earlier contributes 1 / 1.
+        assert memory_term([Triple(0, 0, 1)], 2) == pytest.approx(1.0)
+
+    def test_equation_1_weights(self):
+        # Recommendations at t=0 and t=1, memory evaluated at t=2:
+        # 1/(2-0) + 1/(2-1) = 0.5 + 1 = 1.5
+        group = [Triple(0, 0, 0), Triple(0, 1, 1)]
+        assert memory_term(group, 2) == pytest.approx(1.5)
+
+    def test_same_time_does_not_count(self):
+        group = [Triple(0, 0, 2), Triple(0, 1, 2)]
+        assert memory_term(group, 2) == 0.0
+
+
+def _single_class_instance(primitive: float, beta: float, horizon: int = 3):
+    """One user, two items of the same class, constant primitive probability."""
+    return RevMaxInstance.from_dense_adoption(
+        prices=np.ones((2, horizon)),
+        adoption={
+            (0, 0): [primitive] * horizon,
+            (0, 1): [primitive] * horizon,
+        },
+        item_class=[0, 0],
+        capacities=5,
+        betas=beta,
+        display_limit=2,
+        num_users=1,
+    )
+
+
+class TestDynamicAdoptionProbability:
+    def test_example_1_from_paper(self):
+        """Example 1: S = {(u,i,1), (u,j,2), (u,i,3)}, same class, prob a."""
+        a, beta = 0.3, 0.6
+        instance = _single_class_instance(a, beta)
+        # 0-based times: 0, 1, 2.
+        triples = [Triple(0, 0, 0), Triple(0, 1, 1), Triple(0, 0, 2)]
+        strategy = Strategy(instance.catalog, triples)
+        model = RevenueModel(instance)
+        assert model.dynamic_probability(strategy, triples[0]) == pytest.approx(a)
+        assert model.dynamic_probability(strategy, triples[1]) == pytest.approx(
+            (1 - a) * a * beta ** 1.0
+        )
+        assert model.dynamic_probability(strategy, triples[2]) == pytest.approx(
+            (1 - a) ** 2 * a * beta ** (1.0 + 0.5)
+        )
+
+    def test_absent_triple_has_zero_probability(self):
+        instance = _single_class_instance(0.5, 0.5)
+        strategy = Strategy(instance.catalog, [Triple(0, 0, 0)])
+        model = RevenueModel(instance)
+        assert model.dynamic_probability(strategy, Triple(0, 1, 1)) == 0.0
+
+    def test_single_triple_equals_primitive(self):
+        instance = _single_class_instance(0.4, 0.2)
+        strategy = Strategy(instance.catalog, [Triple(0, 0, 1)])
+        model = RevenueModel(instance)
+        assert model.dynamic_probability(strategy, Triple(0, 0, 1)) == pytest.approx(0.4)
+
+    def test_same_time_competition(self):
+        """Two same-class items at the same time discount each other."""
+        a = 0.5
+        instance = _single_class_instance(a, 1.0)
+        strategy = Strategy(instance.catalog, [Triple(0, 0, 0), Triple(0, 1, 0)])
+        model = RevenueModel(instance)
+        assert model.dynamic_probability(strategy, Triple(0, 0, 0)) == pytest.approx(
+            a * (1 - a)
+        )
+        assert model.dynamic_probability(strategy, Triple(0, 1, 0)) == pytest.approx(
+            a * (1 - a)
+        )
+
+    def test_different_classes_do_not_interact(self):
+        instance = RevMaxInstance.from_dense_adoption(
+            prices=np.ones((2, 2)),
+            adoption={(0, 0): [0.5, 0.5], (0, 1): [0.7, 0.7]},
+            item_class=[0, 1],
+            capacities=5,
+            betas=0.1,
+            display_limit=2,
+            num_users=1,
+        )
+        strategy = Strategy(instance.catalog, [Triple(0, 0, 0), Triple(0, 1, 1)])
+        model = RevenueModel(instance)
+        # Item 1 at time 1 is unaffected by the class-0 recommendation.
+        assert model.dynamic_probability(strategy, Triple(0, 1, 1)) == pytest.approx(0.7)
+
+    def test_lemma_1_probability_non_increasing_in_strategy(self):
+        instance = _single_class_instance(0.4, 0.5)
+        target = Triple(0, 0, 2)
+        small = Strategy(instance.catalog, [target])
+        large = Strategy(instance.catalog, [target, Triple(0, 1, 0), Triple(0, 1, 2)])
+        model = RevenueModel(instance)
+        assert model.dynamic_probability(large, target) <= model.dynamic_probability(
+            small, target
+        )
+
+
+class TestRevenueFunction:
+    def test_empty_strategy_has_zero_revenue(self, small_instance):
+        model = RevenueModel(small_instance)
+        assert model.revenue(Strategy(small_instance.catalog)) == 0.0
+
+    def test_paper_non_monotonicity_example(self, paper_example_instance):
+        """Rev({(u,i,2)}) = 0.57 > Rev({(u,i,1), (u,i,2)}) = 0.5285."""
+        model = RevenueModel(paper_example_instance)
+        catalog = paper_example_instance.catalog
+        late_only = Strategy(catalog, [Triple(0, 0, 1)])
+        both = Strategy(catalog, [Triple(0, 0, 0), Triple(0, 0, 1)])
+        assert model.revenue(late_only) == pytest.approx(0.57)
+        assert model.revenue(both) == pytest.approx(0.5285)
+        assert model.revenue(both) < model.revenue(late_only)
+
+    def test_revenue_of_triples_helper(self, paper_example_instance):
+        model = RevenueModel(paper_example_instance)
+        assert model.revenue_of_triples([(0, 0, 1)]) == pytest.approx(0.57)
+
+    def test_revenue_is_nonnegative_on_random_instances(self):
+        for seed in range(5):
+            instance = build_random_instance(seed=seed)
+            model = RevenueModel(instance)
+            triples = list(instance.candidate_triples())[:8]
+            assert model.revenue_of_triples(triples) >= 0.0
+
+    def test_group_revenue_matches_manual_sum(self):
+        instance = _single_class_instance(0.3, 0.6)
+        triples = [Triple(0, 0, 0), Triple(0, 1, 1)]
+        expected = sum(
+            instance.price(z.item, z.t)
+            * group_dynamic_probability(instance, triples, z)
+            for z in triples
+        )
+        assert group_revenue(instance, triples) == pytest.approx(expected)
+
+
+class TestMarginalRevenue:
+    def test_marginal_of_existing_triple_is_zero(self, small_instance):
+        model = RevenueModel(small_instance)
+        triple = next(iter(small_instance.candidate_triples()))
+        strategy = Strategy(small_instance.catalog, [triple])
+        assert model.marginal_revenue(strategy, triple) == 0.0
+
+    def test_marginal_matches_revenue_difference(self, small_instance):
+        model = RevenueModel(small_instance)
+        candidates = list(small_instance.candidate_triples())
+        strategy = Strategy(small_instance.catalog, candidates[:4])
+        for triple in candidates[4:10]:
+            expected = model.revenue_of_triples(candidates[:4] + [triple]) - (
+                model.revenue_of_triples(candidates[:4])
+            )
+            assert model.marginal_revenue(strategy, triple) == pytest.approx(expected)
+
+    def test_components_sum_to_marginal(self, small_instance):
+        model = RevenueModel(small_instance)
+        candidates = list(small_instance.candidate_triples())
+        strategy = Strategy(small_instance.catalog, candidates[:5])
+        for triple in candidates[5:12]:
+            gain, loss = model.marginal_revenue_components(strategy, triple)
+            assert gain >= 0.0
+            assert loss <= 1e-12
+            assert gain + loss == pytest.approx(
+                model.marginal_revenue(strategy, triple)
+            )
+
+    def test_evaluation_counter(self, small_instance):
+        model = RevenueModel(small_instance)
+        assert model.evaluations == 0
+        triple = next(iter(small_instance.candidate_triples()))
+        model.marginal_revenue(Strategy(small_instance.catalog), triple)
+        assert model.evaluations >= 1
+        model.reset_counters()
+        assert model.evaluations == 0
+
+    @given(seed=st.integers(0, 1000), size=st.integers(0, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_property_marginal_equals_difference(self, seed, size):
+        instance = build_random_instance(seed=seed)
+        model = RevenueModel(instance)
+        candidates = list(instance.candidate_triples())
+        rng = np.random.default_rng(seed)
+        rng.shuffle(candidates)
+        base = candidates[:size]
+        strategy = Strategy(instance.catalog, base)
+        remaining = [z for z in candidates[size:size + 3]]
+        for triple in remaining:
+            difference = model.revenue_of_triples(base + [triple]) - (
+                model.revenue_of_triples(base)
+            )
+            assert model.marginal_revenue(strategy, triple) == pytest.approx(
+                difference, abs=1e-9
+            )

@@ -1,0 +1,143 @@
+"""Tests for the capacity oracle and the Monte-Carlo adoption simulator."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.revenue import RevenueModel
+from repro.core.strategy import Strategy
+from repro.simulation.adoption_sim import AdoptionSimulator
+from repro.simulation.capacity_oracle import (
+    MonteCarloCapacityOracle,
+    PoissonBinomialCapacityOracle,
+    poisson_binomial_at_most,
+)
+
+from tests.conftest import build_random_instance
+
+
+def _brute_force_at_most(probabilities, threshold):
+    """Exact tail probability by enumerating all outcome vectors."""
+    total = 0.0
+    n = len(probabilities)
+    for outcome in itertools.product([0, 1], repeat=n):
+        if sum(outcome) <= threshold:
+            weight = 1.0
+            for p, success in zip(probabilities, outcome):
+                weight *= p if success else (1.0 - p)
+            total += weight
+    return total
+
+
+class TestPoissonBinomial:
+    def test_empty_trials(self):
+        assert poisson_binomial_at_most([], 0) == 1.0
+        assert poisson_binomial_at_most([], -1) == 0.0
+
+    def test_threshold_above_count(self):
+        assert poisson_binomial_at_most([0.5, 0.5], 5) == 1.0
+
+    def test_negative_threshold(self):
+        assert poisson_binomial_at_most([0.5], -1) == 0.0
+
+    def test_single_trial(self):
+        assert poisson_binomial_at_most([0.3], 0) == pytest.approx(0.7)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_at_most([1.5], 0)
+
+    def test_matches_brute_force_small_cases(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n = int(rng.integers(1, 7))
+            probabilities = rng.uniform(0, 1, size=n).tolist()
+            threshold = int(rng.integers(0, n))
+            assert poisson_binomial_at_most(probabilities, threshold) == pytest.approx(
+                _brute_force_at_most(probabilities, threshold), abs=1e-10
+            )
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=8),
+        st.integers(min_value=0, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_brute_force(self, probabilities, threshold):
+        assert poisson_binomial_at_most(probabilities, threshold) == pytest.approx(
+            _brute_force_at_most(probabilities, threshold), abs=1e-9
+        )
+
+    def test_oracle_wrapper(self):
+        oracle = PoissonBinomialCapacityOracle()
+        assert oracle.at_most([0.2, 0.4], 1) == pytest.approx(
+            _brute_force_at_most([0.2, 0.4], 1)
+        )
+
+
+class TestMonteCarloOracle:
+    def test_requires_positive_samples(self):
+        with pytest.raises(ValueError):
+            MonteCarloCapacityOracle(num_samples=0)
+
+    def test_edge_cases(self):
+        oracle = MonteCarloCapacityOracle(num_samples=100, seed=0)
+        assert oracle.at_most([], 0) == 1.0
+        assert oracle.at_most([0.5], -1) == 0.0
+        assert oracle.at_most([0.5, 0.5], 3) == 1.0
+
+    def test_close_to_exact(self):
+        oracle = MonteCarloCapacityOracle(num_samples=30000, seed=1)
+        probabilities = [0.2, 0.5, 0.7, 0.1]
+        for threshold in range(4):
+            exact = _brute_force_at_most(probabilities, threshold)
+            assert oracle.at_most(probabilities, threshold) == pytest.approx(
+                exact, abs=0.02
+            )
+
+
+class TestAdoptionSimulator:
+    def test_zero_runs_rejected(self, small_instance):
+        simulator = AdoptionSimulator(small_instance)
+        with pytest.raises(ValueError):
+            simulator.run(Strategy(small_instance.catalog), num_runs=0)
+
+    def test_empty_strategy_earns_nothing(self, small_instance):
+        simulator = AdoptionSimulator(small_instance)
+        result = simulator.run(Strategy(small_instance.catalog), num_runs=10)
+        assert result.mean_revenue == 0.0
+        assert result.mean_adoptions == 0.0
+
+    def test_simulated_revenue_matches_expected_revenue(self, small_instance):
+        """The sample mean of simulated revenue must approach Rev(S)."""
+        model = RevenueModel(small_instance)
+        candidates = list(small_instance.candidate_triples())
+        strategy = Strategy(small_instance.catalog, candidates[:10])
+        expected = model.revenue(strategy)
+        simulator = AdoptionSimulator(small_instance, seed=123)
+        result = simulator.run(strategy, num_runs=4000)
+        halfwidth = result.revenue_confidence_halfwidth()
+        assert abs(result.mean_revenue - expected) <= max(3 * halfwidth, 1e-6)
+
+    def test_single_triple_adoption_rate(self):
+        instance = build_random_instance(num_users=1, num_items=1, num_classes=1,
+                                         horizon=1, density=1.0, seed=0)
+        triple = next(iter(instance.candidate_triples()))
+        probability = instance.probability(*triple)
+        strategy = Strategy(instance.catalog, [triple])
+        simulator = AdoptionSimulator(instance, seed=7)
+        result = simulator.run(strategy, num_runs=5000)
+        observed_rate = result.mean_adoptions
+        assert observed_rate == pytest.approx(probability, abs=0.03)
+
+    def test_item_adoption_counts_recorded(self, small_instance):
+        candidates = list(small_instance.candidate_triples())
+        strategy = Strategy(small_instance.catalog, candidates[:6])
+        simulator = AdoptionSimulator(small_instance, seed=5)
+        result = simulator.run(strategy, num_runs=200)
+        assert all(count > 0 for count in result.item_adoption_counts.values())
+        strategy_items = {z.item for z in candidates[:6]}
+        assert set(result.item_adoption_counts) <= strategy_items

@@ -1,0 +1,155 @@
+"""Tests for the Strategy container."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.entities import ItemCatalog, Triple
+from repro.core.strategy import Strategy
+
+
+@pytest.fixture
+def catalog():
+    # items 0,1 share class 0; item 2 is class 1.
+    return ItemCatalog(item_class=[0, 0, 1])
+
+
+class TestStrategyBasics:
+    def test_empty(self, catalog):
+        strategy = Strategy(catalog)
+        assert len(strategy) == 0
+        assert Triple(0, 0, 0) not in strategy
+        assert strategy.triples() == set()
+
+    def test_add_and_contains(self, catalog):
+        strategy = Strategy(catalog)
+        strategy.add(Triple(0, 1, 2))
+        assert Triple(0, 1, 2) in strategy
+        assert (0, 1, 2) in strategy
+        assert len(strategy) == 1
+
+    def test_add_duplicate_raises(self, catalog):
+        strategy = Strategy(catalog)
+        strategy.add(Triple(0, 0, 0))
+        with pytest.raises(ValueError):
+            strategy.add(Triple(0, 0, 0))
+
+    def test_remove(self, catalog):
+        strategy = Strategy(catalog, [Triple(0, 0, 0), Triple(0, 1, 1)])
+        strategy.remove(Triple(0, 0, 0))
+        assert Triple(0, 0, 0) not in strategy
+        assert len(strategy) == 1
+
+    def test_remove_missing_raises(self, catalog):
+        with pytest.raises(KeyError):
+            Strategy(catalog).remove(Triple(0, 0, 0))
+
+    def test_copy_is_independent(self, catalog):
+        strategy = Strategy(catalog, [Triple(0, 0, 0)])
+        clone = strategy.copy()
+        clone.add(Triple(1, 2, 0))
+        assert len(strategy) == 1
+        assert len(clone) == 2
+
+    def test_sorted_triples_chronological(self, catalog):
+        strategy = Strategy(catalog, [Triple(1, 0, 2), Triple(0, 2, 0), Triple(0, 0, 1)])
+        assert strategy.sorted_triples() == [
+            Triple(0, 2, 0), Triple(0, 0, 1), Triple(1, 0, 2),
+        ]
+
+    def test_clear(self, catalog):
+        strategy = Strategy(catalog, [Triple(0, 0, 0)])
+        strategy.clear()
+        assert len(strategy) == 0
+        assert strategy.display_count(0, 0) == 0
+
+
+class TestStrategyGrouping:
+    def test_group_by_user_and_class(self, catalog):
+        strategy = Strategy(catalog, [
+            Triple(0, 0, 0), Triple(0, 1, 1), Triple(0, 2, 0), Triple(1, 0, 0),
+        ])
+        group = strategy.group(0, 0)
+        assert set(group) == {Triple(0, 0, 0), Triple(0, 1, 1)}
+        assert strategy.group(0, 1) == [Triple(0, 2, 0)]
+        assert strategy.group(1, 0) == [Triple(1, 0, 0)]
+        assert strategy.group(5, 5) == []
+
+    def test_group_of_triple(self, catalog):
+        strategy = Strategy(catalog, [Triple(0, 0, 0), Triple(0, 1, 1)])
+        group = strategy.group_of_triple(Triple(0, 1, 1))
+        assert set(group) == {Triple(0, 0, 0), Triple(0, 1, 1)}
+
+    def test_group_size(self, catalog):
+        strategy = Strategy(catalog, [Triple(0, 0, 0), Triple(0, 1, 1)])
+        assert strategy.group_size(0, 0) == 2
+        assert strategy.group_size(0, 1) == 0
+
+    def test_groups_iteration(self, catalog):
+        strategy = Strategy(catalog, [Triple(0, 0, 0), Triple(1, 2, 1)])
+        groups = dict(strategy.groups())
+        assert set(groups) == {(0, 0), (1, 1)}
+
+
+class TestStrategyConstraintsBookkeeping:
+    def test_display_count(self, catalog):
+        strategy = Strategy(catalog, [Triple(0, 0, 1), Triple(0, 2, 1), Triple(0, 0, 0)])
+        assert strategy.display_count(0, 1) == 2
+        assert strategy.display_count(0, 0) == 1
+        assert strategy.display_count(1, 0) == 0
+
+    def test_item_audience(self, catalog):
+        strategy = Strategy(catalog, [Triple(0, 0, 0), Triple(1, 0, 1), Triple(0, 0, 2)])
+        assert strategy.item_audience(0) == {0, 1}
+        assert strategy.item_audience_size(0) == 2
+        assert strategy.item_audience_size(1) == 0
+
+    def test_user_has_item(self, catalog):
+        strategy = Strategy(catalog, [Triple(0, 0, 0)])
+        assert strategy.user_has_item(0, 0)
+        assert not strategy.user_has_item(1, 0)
+
+    def test_remove_keeps_audience_when_repeated(self, catalog):
+        strategy = Strategy(catalog, [Triple(0, 0, 0), Triple(0, 0, 1)])
+        strategy.remove(Triple(0, 0, 0))
+        assert strategy.user_has_item(0, 0)
+        strategy.remove(Triple(0, 0, 1))
+        assert not strategy.user_has_item(0, 0)
+
+    def test_repeat_counts(self, catalog):
+        strategy = Strategy(catalog, [Triple(0, 0, 0), Triple(0, 0, 1), Triple(0, 1, 0)])
+        counts = strategy.repeat_counts()
+        assert counts[(0, 0)] == 2
+        assert counts[(0, 1)] == 1
+
+    def test_per_time_counts(self, catalog):
+        strategy = Strategy(catalog, [Triple(0, 0, 0), Triple(1, 0, 0), Triple(0, 1, 2)])
+        assert strategy.per_time_counts() == {0: 2, 2: 1}
+
+
+class TestStrategyProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 2), st.integers(0, 4)),
+            min_size=0, max_size=30, unique=True,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_add_then_remove_restores_empty_state(self, raw_triples):
+        catalog = ItemCatalog(item_class=[0, 0, 1])
+        strategy = Strategy(catalog)
+        triples = [Triple(*t) for t in raw_triples]
+        for triple in triples:
+            strategy.add(triple)
+        assert len(strategy) == len(triples)
+        # Bookkeeping must agree with a from-scratch rebuild.
+        rebuilt = Strategy(catalog, triples)
+        assert rebuilt.triples() == strategy.triples()
+        for triple in triples:
+            strategy.remove(triple)
+        assert len(strategy) == 0
+        assert strategy.per_time_counts() == {}
+        assert strategy.repeat_counts() == {}
+        for item in range(3):
+            assert strategy.item_audience_size(item) == 0

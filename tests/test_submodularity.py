@@ -1,0 +1,217 @@
+"""Empirical examination of Theorem 2 (non-negativity, non-monotonicity,
+submodularity of the revenue function).
+
+Reproduction finding
+--------------------
+Non-negativity and non-monotonicity hold exactly as claimed.  The
+*submodularity* claim of Theorem 2, however, does **not** hold for the revenue
+function exactly as written in Definition 1: because the saturation factor
+``beta ** M_S`` and the competition products discount a later triple's
+contribution *multiplicatively*, the revenue **loss** caused by inserting an
+earlier same-class recommendation is proportional to the later triple's
+current contribution -- which is larger in a *smaller* strategy.  Diminishing
+returns can therefore be violated (the paper's Case 2/3 argument, "the number
+of triples z precedes in S' is no less than that in S, so is the revenue
+loss", compares counts rather than magnitudes).
+
+``test_theorem2_submodularity_counterexample`` pins down a concrete, hand-
+verifiable counterexample; the remaining tests verify the parts of the
+theorem's statement and proof that do hold (Lemma 1, the "z succeeds
+everything" case, and submodularity in degenerate/modular settings).  The
+greedy algorithms of §5 remain well-defined heuristics either way; only the
+exactness of the lazy-forward acceleration and the 1/(4+eps) guarantee relied
+on the claim.  See DESIGN.md ("Reproduction findings").
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.entities import Triple
+from repro.core.revenue import RevenueModel
+from repro.core.strategy import Strategy
+from repro.matroid.submodular import (
+    find_submodularity_violation,
+    is_monotone,
+    is_submodular,
+)
+
+from tests.conftest import build_random_instance
+
+
+def _revenue_set_function(instance):
+    model = RevenueModel(instance)
+
+    def function(subset):
+        return model.revenue_of_triples(subset)
+
+    return function
+
+
+class TestNonNegativityAndNonMonotonicity:
+    def test_revenue_non_negative_on_all_small_subsets(self):
+        instance = build_random_instance(
+            num_users=2, num_items=2, num_classes=1, horizon=2, seed=3
+        )
+        function = _revenue_set_function(instance)
+        ground = list(instance.candidate_triples())
+        for size in range(0, 4):
+            for subset in itertools.combinations(ground, size):
+                assert function(frozenset(subset)) >= 0.0
+
+    def test_revenue_is_non_monotone(self, paper_example_instance):
+        function = _revenue_set_function(paper_example_instance)
+        ground = list(paper_example_instance.candidate_triples())
+        assert not is_monotone(function, ground)
+
+    @given(seed=st.integers(0, 300), size=st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_property_revenue_never_negative(self, seed, size):
+        instance = build_random_instance(seed=seed)
+        candidates = list(instance.candidate_triples())
+        rng = np.random.default_rng(seed)
+        rng.shuffle(candidates)
+        function = _revenue_set_function(instance)
+        assert function(frozenset(candidates[:size])) >= 0.0
+
+
+class TestLemma1AndProofCases:
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_lemma1_dynamic_probability_non_increasing(self, seed):
+        """Lemma 1: q_S(u,i,t) can only shrink as S grows (this does hold)."""
+        instance = build_random_instance(
+            num_users=2, num_items=3, num_classes=1, horizon=3, beta=0.4, seed=seed
+        )
+        model = RevenueModel(instance)
+        candidates = list(instance.candidate_triples())
+        rng = np.random.default_rng(seed)
+        rng.shuffle(candidates)
+        if len(candidates) < 3:
+            return
+        target = candidates[0]
+        extras = candidates[1:4]
+        small = Strategy(instance.catalog, [target])
+        large = Strategy(instance.catalog, [target] + extras)
+        assert model.dynamic_probability(large, target) <= (
+            model.dynamic_probability(small, target) + 1e-12
+        )
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_case1_gain_diminishes_when_candidate_succeeds_everything(self, seed):
+        """Proof Case 1: if z comes strictly after every same-class triple,
+        its marginal gain cannot grow when the strategy grows."""
+        instance = build_random_instance(
+            num_users=1, num_items=3, num_classes=1, horizon=4, beta=0.5,
+            display_limit=3, seed=seed,
+        )
+        model = RevenueModel(instance)
+        last_time = instance.horizon - 1
+        late = [z for z in instance.candidate_triples() if z.t == last_time]
+        early = [z for z in instance.candidate_triples() if z.t < last_time]
+        if not late or len(early) < 2:
+            return
+        z = late[0]
+        small = Strategy(instance.catalog, early[:1])
+        large = Strategy(instance.catalog, early[:3])
+        assert model.marginal_revenue(small, z) >= model.marginal_revenue(large, z) - 1e-9
+
+
+class TestSubmodularityStatus:
+    def test_modular_when_groups_are_singletons(self):
+        """T = 1 with singleton classes: contributions are independent, so the
+        revenue function is additive (hence submodular)."""
+        instance = build_random_instance(
+            num_users=3, num_items=3, num_classes=3, horizon=1,
+            display_limit=3, beta=0.5, seed=0,
+        )
+        function = _revenue_set_function(instance)
+        ground = list(instance.candidate_triples())[:6]
+        assert is_submodular(function, ground, max_subset_size=4)
+
+    def test_single_candidate_per_class_multi_step_is_submodular(self):
+        """One candidate item per (user, class): only saturation via repeats of
+        the same item interacts; small enough to verify exhaustively."""
+        instance = build_random_instance(
+            num_users=2, num_items=2, num_classes=2, horizon=2,
+            display_limit=2, beta=0.7, density=1.0, seed=4,
+        )
+        function = _revenue_set_function(instance)
+        ground = [z for z in instance.candidate_triples() if z.user == 0]
+        assert is_submodular(function, ground, max_subset_size=3)
+
+    def test_theorem2_submodularity_counterexample(self):
+        """Documented deviation from the paper: Definition 1's revenue function
+        is not submodular in general.
+
+        Hand-checkable instance (single user, two same-class items, beta=0.3):
+        S = {(u, i0, t1)}, S' = S + {(u, i0, t0)}, w = (u, i1, t0).  Adding w
+        costs far more revenue in the *smaller* set S (it saturates and
+        competes against i0's large undiscounted contribution at t1) than in
+        S', violating diminishing returns.
+        """
+        instance = build_random_instance(
+            num_users=2, num_items=3, num_classes=1, horizon=2,
+            display_limit=3, beta=0.3, seed=1,
+        )
+        function = _revenue_set_function(instance)
+        ground = list(instance.candidate_triples())[:6]
+        violation = find_submodularity_violation(function, ground, max_subset_size=4)
+        assert violation is not None
+        small, large, element = violation
+        assert small <= large
+        assert element not in large
+        gain_small = function(small | {element}) - function(small)
+        gain_large = function(large | {element}) - function(large)
+        assert gain_small < gain_large
+
+    def test_counterexample_exists_even_without_saturation(self):
+        """The violation is not an artefact of saturation alone: with beta = 1
+        the multiplicative competition discounts still produce violations."""
+        found = False
+        for seed in range(10):
+            instance = build_random_instance(
+                num_users=1, num_items=3, num_classes=1, horizon=3,
+                display_limit=3, beta=1.0, seed=seed,
+            )
+            function = _revenue_set_function(instance)
+            ground = list(instance.candidate_triples())[:6]
+            if find_submodularity_violation(function, ground, max_subset_size=4):
+                found = True
+                break
+        assert found
+
+
+class TestCheckerSanity:
+    """Validate the brute-force checkers themselves on known functions."""
+
+    def test_coverage_function_is_submodular_and_monotone(self):
+        sets = {0: {1, 2}, 1: {2, 3}, 2: {4}, 3: {1, 4, 5}}
+
+        def coverage(subset):
+            covered = set()
+            for element in subset:
+                covered |= sets[element]
+            return float(len(covered))
+
+        ground = list(sets)
+        assert is_submodular(coverage, ground)
+        assert is_monotone(coverage, ground)
+
+    def test_supermodular_function_detected(self):
+        def product(subset):
+            return float(2 ** len(subset)) - 1.0
+
+        ground = [0, 1, 2, 3]
+        assert not is_submodular(product, ground)
+
+    def test_non_monotone_detected(self):
+        def dip(subset):
+            return float(len(subset) if len(subset) <= 2 else 4 - len(subset))
+
+        assert not is_monotone(dip, [0, 1, 2, 3])
