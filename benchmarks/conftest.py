@@ -24,12 +24,23 @@ if _SRC not in sys.path:
 
 from repro.experiments.harness import prepare_dataset  # noqa: E402
 
-#: Scale used by single-configuration benchmarks.
-BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
-
-#: Scale used by benchmarks that sweep many configurations.
 _SWEEP_FALLBACK = {"medium": "small", "small": "tiny", "tiny": "tiny"}
-SWEEP_SCALE = os.environ.get("REPRO_BENCH_SWEEP_SCALE", _SWEEP_FALLBACK[BENCH_SCALE])
+
+
+def bench_scale() -> str:
+    """Scale used by single-configuration benchmarks.
+
+    Read lazily (at fixture time, not import time) so that the root
+    conftest's ``--run-benchmarks`` smoke mode -- which pins the scale env
+    variables in ``pytest_configure``, *after* this module is imported as an
+    initial conftest -- takes effect.
+    """
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def sweep_scale() -> str:
+    """Scale used by benchmarks that sweep many configurations (lazy)."""
+    return os.environ.get("REPRO_BENCH_SWEEP_SCALE", _SWEEP_FALLBACK[bench_scale()])
 
 
 def run_once(benchmark, function, *args, **kwargs):
@@ -46,16 +57,18 @@ def run_once(benchmark, function, *args, **kwargs):
 @pytest.fixture(scope="session")
 def bench_pipelines():
     """Amazon-like and Epinions-like pipelines at the single-figure scale."""
+    scale = bench_scale()
     return {
-        "amazon": prepare_dataset("amazon", scale=BENCH_SCALE, seed=0),
-        "epinions": prepare_dataset("epinions", scale=BENCH_SCALE, seed=0),
+        "amazon": prepare_dataset("amazon", scale=scale, seed=0),
+        "epinions": prepare_dataset("epinions", scale=scale, seed=0),
     }
 
 
 @pytest.fixture(scope="session")
 def sweep_pipelines():
     """Pipelines at the (smaller) sweep scale for multi-configuration figures."""
+    scale = sweep_scale()
     return {
-        "amazon": prepare_dataset("amazon", scale=SWEEP_SCALE, seed=0),
-        "epinions": prepare_dataset("epinions", scale=SWEEP_SCALE, seed=0),
+        "amazon": prepare_dataset("amazon", scale=scale, seed=0),
+        "epinions": prepare_dataset("epinions", scale=scale, seed=0),
     }

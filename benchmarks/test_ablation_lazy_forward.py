@@ -6,6 +6,13 @@ is close enough to submodular on pipeline instances that stale bounds rarely
 mislead the selection) while performing strictly more marginal-revenue
 evaluations.  The paper cites a ~700x evaluation saving on viral-marketing
 workloads; at reproduction scale we only assert a meaningful reduction.
+
+The ablation compares ``last_lookups`` -- the group evaluations each variant
+*requested* -- not ``last_evaluations``, which since the incremental group
+cache counts only the evaluations the engine actually computed.  Lazy
+forward reduces requests; the cache reduces the cost of a request; measuring
+requests keeps the two effects separate (and keeps this ablation's verdict
+independent of the engine configuration).
 """
 
 from __future__ import annotations
@@ -30,17 +37,19 @@ def test_ablation_lazy_forward(benchmark, bench_pipelines):
 
     print(
         f"\nlazy forward:   revenue={lazy_result.revenue:,.2f} "
-        f"evaluations={lazy.last_evaluations:,} time={lazy_result.runtime_seconds:.3f}s"
+        f"lookups={lazy.last_lookups:,} computed={lazy.last_evaluations:,} "
+        f"time={lazy_result.runtime_seconds:.3f}s"
     )
     print(
         f"eager updates:  revenue={eager_result.revenue:,.2f} "
-        f"evaluations={eager.last_evaluations:,} time={eager_result.runtime_seconds:.3f}s"
+        f"lookups={eager.last_lookups:,} computed={eager.last_evaluations:,} "
+        f"time={eager_result.runtime_seconds:.3f}s"
     )
 
     # Same quality...
     assert lazy_result.revenue == pytest.approx(eager_result.revenue, rel=0.02)
-    # ...for a fraction of the marginal-revenue evaluations.
-    assert lazy.last_evaluations < eager.last_evaluations
-    saving = eager.last_evaluations / max(1, lazy.last_evaluations)
-    print(f"evaluation saving factor: {saving:.1f}x")
+    # ...for a fraction of the requested marginal-revenue evaluations.
+    assert lazy.last_lookups < eager.last_lookups
+    saving = eager.last_lookups / max(1, lazy.last_lookups)
+    print(f"evaluation saving factor (requested lookups): {saving:.1f}x")
     assert saving >= 1.5

@@ -3,6 +3,12 @@
 Ensures the ``src`` layout is importable even when the package has not been
 installed (e.g. on offline machines where ``pip install -e .`` cannot resolve
 build dependencies).  When the package is properly installed this is a no-op.
+
+Also defines the ``--run-benchmarks`` flag: a smoke mode for the benchmark
+suites that pins the reproduction scales to ``tiny`` (unless the
+``REPRO_BENCH_*`` environment variables are already set), used by the CI
+benchmark job.  Without the flag, benchmarks run at their default (small)
+scale exactly as before.
 """
 
 import os
@@ -11,3 +17,19 @@ import sys
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-benchmarks",
+        action="store_true",
+        default=False,
+        help="benchmark smoke mode: pin REPRO_BENCH_SCALE and "
+             "REPRO_BENCH_SWEEP_SCALE to 'tiny' unless already set",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--run-benchmarks"):
+        os.environ.setdefault("REPRO_BENCH_SCALE", "tiny")
+        os.environ.setdefault("REPRO_BENCH_SWEEP_SCALE", "tiny")

@@ -39,7 +39,9 @@ class AlgorithmResult:
         runtime_seconds: wall-clock running time of the solve.
         growth_curve: optional list of ``(strategy size, revenue)`` checkpoints
             recorded while the strategy was being built (Figure 4).
-        evaluations: number of marginal-revenue evaluations performed.
+        evaluations: number of group-revenue kernel evaluations the solve
+            actually computed (the revenue engine's cache hits are excluded;
+            see :attr:`repro.core.revenue.RevenueModel.evaluations`).
         extras: free-form algorithm-specific diagnostics.
     """
 
@@ -71,6 +73,11 @@ class RevMaxAlgorithm(ABC):
     #: Human-readable algorithm name, overridden by subclasses.
     name: str = "abstract"
 
+    #: Revenue-engine backend ("numpy" / "python" / None for the process
+    #: default); solvers that accept a ``backend`` argument store it here so
+    #: :meth:`run` scores the final strategy with the same engine.
+    backend: Optional[str] = None
+
     @abstractmethod
     def build_strategy(self, instance: RevMaxInstance) -> Strategy:
         """Construct a strategy for the instance (algorithm-specific)."""
@@ -94,7 +101,7 @@ class RevMaxAlgorithm(ABC):
         elapsed = time.perf_counter() - start
         if validate:
             ConstraintChecker(instance).check(strategy)
-        model = RevenueModel(instance)
+        model = RevenueModel(instance, backend=self.backend)
         revenue = model.revenue(strategy)
         result = AlgorithmResult(
             algorithm=self.name,

@@ -53,20 +53,25 @@ class GlobalGreedy(RevMaxAlgorithm):
             single flat addressable heap (ablation).
         ignore_saturation: select triples as if no saturation existed
             (the GlobalNo baseline).
+        backend: revenue-engine backend ("numpy" / "python"); ``None`` uses
+            the process default.
     """
 
     name = "G-Greedy"
 
     def __init__(self, use_lazy_forward: bool = True,
                  use_two_level_heap: bool = True,
-                 ignore_saturation: bool = False) -> None:
+                 ignore_saturation: bool = False,
+                 backend: Optional[str] = None) -> None:
         self._use_lazy_forward = use_lazy_forward
         self._use_two_level_heap = use_two_level_heap
         self._ignore_saturation = ignore_saturation
+        self.backend = backend
         if ignore_saturation:
             self.name = "GlobalNo"
         self.last_growth_curve: List[Tuple[int, float]] = []
         self.last_evaluations: int = 0
+        self.last_lookups: int = 0
         self.last_extras: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
@@ -88,8 +93,8 @@ class GlobalGreedy(RevMaxAlgorithm):
         selection_instance = (
             instance.with_betas(1.0) if self._ignore_saturation else instance
         )
-        selection_model = RevenueModel(selection_instance)
-        true_model = RevenueModel(instance)
+        selection_model = RevenueModel(selection_instance, backend=self.backend)
+        true_model = RevenueModel(instance, backend=self.backend)
         checker = ConstraintChecker(instance)
         allowed = set(allowed_times) if allowed_times is not None else None
 
@@ -137,6 +142,7 @@ class GlobalGreedy(RevMaxAlgorithm):
 
         self.last_growth_curve = growth_curve
         self.last_evaluations = selection_model.evaluations
+        self.last_lookups = selection_model.lookups
         self.last_extras = {
             "lazy_forward": self._use_lazy_forward,
             "two_level_heap": self._use_two_level_heap,
@@ -240,5 +246,5 @@ class GlobalGreedyNoSaturation(GlobalGreedy):
 
     name = "GlobalNo"
 
-    def __init__(self) -> None:
-        super().__init__(ignore_saturation=True)
+    def __init__(self, backend: Optional[str] = None) -> None:
+        super().__init__(ignore_saturation=True, backend=backend)

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.entities import Triple
 from repro.core.problem import RevMaxInstance
-from repro.core.revenue import group_revenue
+from repro.core.revenue import kernel_for_backend
 from repro.core.strategy import Strategy
 
 __all__ = ["optimal_group_plan", "GroupDecompositionBound", "GroupBoundResult"]
@@ -64,6 +64,7 @@ def optimal_group_plan(
     user: int,
     class_id: int,
     max_candidates: int = 16,
+    backend: Optional[str] = None,
 ) -> Tuple[List[Triple], float]:
     """Return the revenue-optimal subset of one (user, class) group.
 
@@ -76,6 +77,8 @@ def optimal_group_plan(
         user: the user of the group.
         class_id: the item class of the group.
         max_candidates: guard against exponential blow-up; exceeding it raises.
+        backend: revenue-engine backend ("numpy" / "python"); ``None`` uses
+            the process default.
 
     Returns:
         ``(best_subset, best_revenue)``; the empty subset with revenue 0.0 when
@@ -93,11 +96,12 @@ def optimal_group_plan(
     best_subset: List[Triple] = []
     best_revenue = 0.0
     limit = instance.display_limit
+    kernel = kernel_for_backend(backend)
     for size in range(1, len(candidates) + 1):
         for subset in combinations(candidates, size):
             if not _respects_group_display_limit(subset, limit):
                 continue
-            revenue = group_revenue(instance, list(subset))
+            revenue = kernel(instance, list(subset))
             if revenue > best_revenue:
                 best_revenue = revenue
                 best_subset = list(subset)
@@ -134,10 +138,14 @@ class GroupDecompositionBound:
         max_candidates_per_group: groups with more candidates than this are
             bounded by ``sum of each time step's best k isolated revenues``
             instead of exact enumeration (still an upper bound, just looser).
+        backend: revenue-engine backend used by the per-group enumeration;
+            ``None`` uses the process default.
     """
 
-    def __init__(self, max_candidates_per_group: int = 14) -> None:
+    def __init__(self, max_candidates_per_group: int = 14,
+                 backend: Optional[str] = None) -> None:
         self._max_candidates = max_candidates_per_group
+        self._backend = backend
 
     def _relaxed_group_bound(self, instance: RevMaxInstance,
                              candidates: Sequence[Triple]) -> float:
@@ -168,7 +176,8 @@ class GroupDecompositionBound:
                     continue
                 if len(candidates) <= self._max_candidates:
                     _, value = optimal_group_plan(
-                        instance, user, class_id, self._max_candidates
+                        instance, user, class_id, self._max_candidates,
+                        backend=self._backend,
                     )
                     enumerated += 1
                 else:

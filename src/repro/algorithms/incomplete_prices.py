@@ -71,12 +71,13 @@ class SubHorizonWrapper(RevMaxAlgorithm):
         self._base = base
         self._cutoffs = list(cutoffs)
         self.name = f"{base.name}@cut{'-'.join(str(c) for c in self._cutoffs)}"
+        self.backend = getattr(base, "backend", None)
         self.last_extras: Dict[str, object] = {}
 
     def build_strategy(self, instance: RevMaxInstance) -> Strategy:
         sub_horizons = split_horizon(instance.horizon, self._cutoffs)
         strategy = Strategy(instance.catalog)
-        model = RevenueModel(instance)
+        model = RevenueModel(instance, backend=self.backend)
         checker = ConstraintChecker(instance)
 
         for steps in sub_horizons:

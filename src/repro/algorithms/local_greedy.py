@@ -103,13 +103,20 @@ def greedy_single_step(
 
 
 class SequentialLocalGreedy(RevMaxAlgorithm):
-    """SL-Greedy: per-time-step greedy in chronological order."""
+    """SL-Greedy: per-time-step greedy in chronological order.
+
+    Args:
+        backend: revenue-engine backend ("numpy" / "python"); ``None`` uses
+            the process default.
+    """
 
     name = "SL-Greedy"
 
-    def __init__(self) -> None:
+    def __init__(self, backend: Optional[str] = None) -> None:
+        self.backend = backend
         self.last_growth_curve: List[Tuple[int, float]] = []
         self.last_evaluations: int = 0
+        self.last_lookups: int = 0
         self.last_extras: Dict[str, object] = {}
 
     def build_strategy(self, instance: RevMaxInstance,
@@ -121,7 +128,7 @@ class SequentialLocalGreedy(RevMaxAlgorithm):
             time_order: explicit processing order of the time steps; defaults
                 to chronological order (which is what SL-Greedy does).
         """
-        model = RevenueModel(instance)
+        model = RevenueModel(instance, backend=self.backend)
         checker = ConstraintChecker(instance)
         strategy = Strategy(instance.catalog)
         growth_curve: List[Tuple[int, float]] = []
@@ -134,6 +141,7 @@ class SequentialLocalGreedy(RevMaxAlgorithm):
             )
         self.last_growth_curve = growth_curve
         self.last_evaluations = model.evaluations
+        self.last_lookups = model.lookups
         self.last_extras = {"time_order": order}
         return strategy
 
@@ -145,17 +153,22 @@ class RandomizedLocalGreedy(RevMaxAlgorithm):
         num_permutations: number of distinct permutations to sample (the
             paper uses ``N = 20``).
         seed: random seed controlling the sampled permutations.
+        backend: revenue-engine backend ("numpy" / "python"); ``None`` uses
+            the process default.
     """
 
     name = "RL-Greedy"
 
-    def __init__(self, num_permutations: int = 20, seed: Optional[int] = 0) -> None:
+    def __init__(self, num_permutations: int = 20, seed: Optional[int] = 0,
+                 backend: Optional[str] = None) -> None:
         if num_permutations <= 0:
             raise ValueError("num_permutations must be positive")
         self._num_permutations = num_permutations
         self._seed = seed
+        self.backend = backend
         self.last_growth_curve: List[Tuple[int, float]] = []
         self.last_evaluations: int = 0
+        self.last_lookups: int = 0
         self.last_extras: Dict[str, object] = {}
 
     def _sample_permutations(self, horizon: int) -> List[Tuple[int, ...]]:
@@ -173,12 +186,12 @@ class RandomizedLocalGreedy(RevMaxAlgorithm):
         return sorted(permutations)
 
     def build_strategy(self, instance: RevMaxInstance) -> Strategy:
-        model = RevenueModel(instance)
+        model = RevenueModel(instance, backend=self.backend)
         best_strategy: Optional[Strategy] = None
         best_revenue = -float("inf")
         best_curve: List[Tuple[int, float]] = []
         best_order: Tuple[int, ...] = ()
-        runner = SequentialLocalGreedy()
+        runner = SequentialLocalGreedy(backend=self.backend)
         for order in self._sample_permutations(instance.horizon):
             strategy = runner.build_strategy(instance, time_order=order)
             revenue = model.revenue(strategy)
@@ -189,6 +202,7 @@ class RandomizedLocalGreedy(RevMaxAlgorithm):
                 best_order = tuple(order)
         self.last_growth_curve = best_curve
         self.last_evaluations = model.evaluations
+        self.last_lookups = model.lookups
         self.last_extras = {
             "num_permutations": self._num_permutations,
             "best_order": best_order,

@@ -38,20 +38,26 @@ class LocalSearchApproximation(RevMaxAlgorithm):
         capacity_oracle: optional oracle for the capacity factor
             ``B_S(i, t)``; defaults to the exact Poisson-binomial oracle.
         max_iterations: safety cap on the number of improving moves.
+        backend: revenue-engine backend forwarded to the effective revenue
+            model; ``None`` uses the process default.
     """
 
     name = "LocalSearch-1/(4+eps)"
 
     def __init__(self, epsilon: float = 0.25, capacity_oracle=None,
-                 max_iterations: int = 5000) -> None:
+                 max_iterations: int = 5000,
+                 backend: Optional[str] = None) -> None:
         self._epsilon = epsilon
         self._capacity_oracle = capacity_oracle
         self._max_iterations = max_iterations
+        self.backend = backend
         self.last_extras: Dict[str, object] = {}
         self.last_evaluations: int = 0
 
     def build_strategy(self, instance: RevMaxInstance) -> Strategy:
-        model = EffectiveRevenueModel(instance, self._capacity_oracle)
+        model = EffectiveRevenueModel(
+            instance, self._capacity_oracle, backend=self.backend
+        )
         matroid = display_constraint_matroid(instance)
 
         def objective(subset: Iterable[Triple]) -> float:

@@ -17,6 +17,14 @@ from repro.core.constraints import (
 )
 from repro.core.effective import EffectiveRevenueModel
 from repro.core.random_prices import PriceDistribution, TaylorRevenueModel
+from repro.core.vectorized import (
+    GroupArrays,
+    get_default_backend,
+    set_default_backend,
+    vectorized_group_probabilities,
+    vectorized_group_revenue,
+    vectorized_memory_terms,
+)
 
 __all__ = [
     "AdoptionTable",
@@ -34,6 +42,12 @@ __all__ = [
     "TaylorRevenueModel",
     "Triple",
     "UserMeta",
+    "GroupArrays",
+    "get_default_backend",
     "group_dynamic_probability",
     "memory_term",
+    "set_default_backend",
+    "vectorized_group_probabilities",
+    "vectorized_group_revenue",
+    "vectorized_memory_terms",
 ]

@@ -38,10 +38,14 @@ class EffectiveRevenueModel(RevenueModel):
         capacity_oracle: object with an ``at_most(probabilities, threshold)``
             method estimating ``Pr[at most threshold adopters]``.  Defaults to
             the exact Poisson-binomial oracle.
+        backend: revenue-kernel backend forwarded to :class:`RevenueModel`
+            (the inherited group-level helpers use it; the effective
+            probabilities themselves couple users and are evaluated directly).
     """
 
-    def __init__(self, instance: RevMaxInstance, capacity_oracle=None) -> None:
-        super().__init__(instance)
+    def __init__(self, instance: RevMaxInstance, capacity_oracle=None,
+                 backend: Optional[str] = None) -> None:
+        super().__init__(instance, backend=backend)
         self._oracle = capacity_oracle or PoissonBinomialCapacityOracle()
 
     # ------------------------------------------------------------------

@@ -127,6 +127,8 @@ class TaylorRevenueModel:
             realised price.
         candidate_pairs: the (user, item) pairs a recommender would consider;
             only these receive adoption probabilities.
+        backend: revenue-kernel backend used for the per-realisation exact
+            evaluations (forwarded to :class:`RevenueModel`).
     """
 
     def __init__(
@@ -139,6 +141,7 @@ class TaylorRevenueModel:
         price_distribution: PriceDistribution,
         adoption_given_price: AdoptionGivenPrice,
         candidate_pairs: Iterable[Tuple[int, int]],
+        backend: Optional[str] = None,
     ) -> None:
         self._num_users = num_users
         self._catalog = catalog
@@ -148,6 +151,7 @@ class TaylorRevenueModel:
         self._distribution = price_distribution
         self._adoption_given_price = adoption_given_price
         self._candidate_pairs = [(int(u), int(i)) for (u, i) in candidate_pairs]
+        self._backend = backend
 
     # ------------------------------------------------------------------
     # instance construction for a realised price matrix
@@ -194,7 +198,7 @@ class TaylorRevenueModel:
     def revenue_at_prices(self, triples: Iterable[Triple], prices: np.ndarray) -> float:
         """Exact expected revenue of the strategy for a realised price matrix."""
         instance = self.instance_for_prices(prices)
-        model = RevenueModel(instance)
+        model = RevenueModel(instance, backend=self._backend)
         return model.revenue_of_triples(triples)
 
     def expected_price_revenue(self, triples: Iterable[Triple]) -> float:

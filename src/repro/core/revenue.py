@@ -17,20 +17,30 @@ object every algorithm talks to.
 Times are 0-based (``0 .. T-1``).  Memory at a time step only counts strictly
 earlier recommendations, which reproduces the paper's convention that
 ``X_S(u, i, 1) = 0`` at the first step.
+
+The module-level functions are the pure-Python *reference* kernels.
+:class:`RevenueModel` dispatches between them and the NumPy-vectorized
+kernels of :mod:`repro.core.vectorized` via its ``backend`` argument, and
+layers an incremental per-group cache on top; see the class docstring for
+the exact contract.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.entities import Triple
 from repro.core.problem import RevMaxInstance
 from repro.core.strategy import Strategy
+from repro.core.vectorized import resolve_backend, vectorized_group_revenue
 
 __all__ = [
     "memory_term",
     "group_dynamic_probability",
     "group_revenue",
+    "adaptive_group_revenue",
+    "kernel_for_backend",
+    "VECTORIZE_MIN_GROUP",
     "RevenueModel",
 ]
 
@@ -99,6 +109,38 @@ def group_revenue(instance: RevMaxInstance, group: Sequence[Triple]) -> float:
     return total
 
 
+#: Group size from which the vectorized kernel beats the scalar loops; below
+#: it, array construction overhead dominates the O(n^2) arithmetic (measured
+#: crossover is ~9 triples on CPython 3.11 / NumPy 2.x).
+VECTORIZE_MIN_GROUP = 10
+
+
+def adaptive_group_revenue(instance: RevMaxInstance,
+                           group: Sequence[Triple]) -> float:
+    """The "numpy" backend kernel: vectorize dense groups, loop over tiny ones.
+
+    Both branches implement the identical arithmetic of Definitions 1-2, so
+    the dispatch is invisible apart from sub-1e-12 round-off differences.
+    """
+    if len(group) < VECTORIZE_MIN_GROUP:
+        return group_revenue(instance, group)
+    return vectorized_group_revenue(instance, group)
+
+
+def kernel_for_backend(backend: Optional[str]):
+    """Map a backend name (or ``None`` for the default) to its revenue kernel.
+
+    The single place the backend-to-kernel mapping is encoded; used by
+    :class:`RevenueModel` and by callers that evaluate groups without a model
+    (e.g. the per-group enumeration in :mod:`repro.algorithms.group_dp`).
+    """
+    return (
+        adaptive_group_revenue
+        if resolve_backend(backend) == "numpy"
+        else group_revenue
+    )
+
+
 class RevenueModel:
     """Evaluator of ``Rev(S)`` and marginal revenues for a fixed instance.
 
@@ -107,11 +149,49 @@ class RevenueModel:
     probability of Definition 4, or the random-price Taylor approximation of
     §7) can be swapped in by subclassing and overriding
     :meth:`group_revenue`.
+
+    Two engine knobs sit behind the unchanged interface:
+
+    * ``backend`` selects the group-revenue kernel -- ``"numpy"`` (the
+      vectorized kernels of :mod:`repro.core.vectorized`, the default) or
+      ``"python"`` (the reference scalar loops of this module).  ``None``
+      picks the process-wide default (``REPRO_REVENUE_BACKEND`` /
+      :func:`repro.core.vectorized.set_default_backend`).  The numpy backend
+      dispatches adaptively: groups smaller than
+      :data:`VECTORIZE_MIN_GROUP` run the scalar loops (array-construction
+      overhead would dominate), larger groups run the broadcasting kernel.
+    * ``cache`` enables the *incremental group cache*: group revenues are
+      memoised keyed on the group's membership (a frozenset of triples), so
+      a marginal-revenue call recomputes only the extended "after" group and
+      reuses the unchanged "before" value -- and once the triple is actually
+      added, the "after" value becomes the next call's "before" hit.
+
+    Cache-invalidation contract: there is none to perform.  Keys are the
+    group membership itself and the instance is immutable, so an entry can
+    never go stale -- mutating a :class:`Strategy` simply makes subsequent
+    lookups use different keys.  :meth:`clear_cache` exists purely to bound
+    memory; when the cache exceeds ``max_cache_entries`` it is cleared
+    wholesale (entries are cheap to recompute and a wholesale clear keeps
+    the bookkeeping O(1)).
+
+    Args:
+        instance: the REVMAX instance to evaluate (treated as immutable).
+        backend: ``"numpy"``, ``"python"`` or ``None`` (process default).
+        cache: enable the incremental group cache (default ``True``).
+            ``RevenueModel(instance, backend="python", cache=False)``
+            reproduces the original pure-Python engine exactly.
+        max_cache_entries: memory bound on the number of memoised groups.
     """
 
-    def __init__(self, instance: RevMaxInstance) -> None:
+    def __init__(self, instance: RevMaxInstance, backend: Optional[str] = None,
+                 cache: bool = True, max_cache_entries: int = 1_000_000) -> None:
         self._instance = instance
+        self._backend = resolve_backend(backend)
+        self._kernel = kernel_for_backend(self._backend)
+        self._cache: Optional[Dict[FrozenSet[Triple], float]] = {} if cache else None
+        self._max_cache_entries = int(max_cache_entries)
         self._evaluations = 0
+        self._cache_hits = 0
 
     @property
     def instance(self) -> RevMaxInstance:
@@ -119,21 +199,80 @@ class RevenueModel:
         return self._instance
 
     @property
+    def backend(self) -> str:
+        """The group-revenue kernel in use (``"numpy"`` or ``"python"``)."""
+        return self._backend
+
+    @property
     def evaluations(self) -> int:
-        """Number of group-revenue evaluations performed (profiling aid)."""
+        """Number of group revenues actually *computed* (profiling aid).
+
+        The counter measures work done by the revenue kernel: it increments
+        once per :meth:`group_revenue` call that reaches the kernel and **not**
+        on cache hits.  This keeps the lazy-forward / two-level-heap ablation
+        benchmarks meaningful -- they compare how many evaluations each
+        algorithm *needs*, which must not be inflated by lookups the cache
+        answered for free.  With ``cache=False`` every call reaches the kernel
+        and the counter equals the number of ``group_revenue`` calls (the
+        historical semantics).  Cache hits are reported separately by
+        :attr:`cache_hits`.
+        """
         return self._evaluations
 
+    @property
+    def cache_hits(self) -> int:
+        """Number of :meth:`group_revenue` calls answered from the cache."""
+        return self._cache_hits
+
+    @property
+    def lookups(self) -> int:
+        """Total :meth:`group_revenue` calls (kernel evaluations + cache hits).
+
+        This is the number of group evaluations the *caller requested* --
+        the quantity an algorithmic device such as lazy forward reduces --
+        whereas :attr:`evaluations` is the number the engine actually had to
+        compute.  The ablation benchmarks compare lookups so that their
+        verdict on the algorithms is independent of the engine's cache.
+        """
+        return self._evaluations + self._cache_hits
+
+    def cache_info(self) -> Dict[str, int]:
+        """Return cache statistics: size, hits and kernel evaluations."""
+        return {
+            "size": len(self._cache) if self._cache is not None else 0,
+            "hits": self._cache_hits,
+            "evaluations": self._evaluations,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every memoised group revenue (frees memory; never required)."""
+        if self._cache is not None:
+            self._cache.clear()
+
     def reset_counters(self) -> None:
-        """Reset the evaluation counter."""
+        """Reset the evaluation and cache-hit counters."""
         self._evaluations = 0
+        self._cache_hits = 0
 
     # ------------------------------------------------------------------
     # group-level primitives (override points)
     # ------------------------------------------------------------------
     def group_revenue(self, group: Sequence[Triple]) -> float:
-        """Expected revenue of one (user, class) group."""
+        """Expected revenue of one (user, class) group (memoised)."""
+        if self._cache is None:
+            self._evaluations += 1
+            return self._kernel(self._instance, group)
+        key = frozenset(group)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            return cached
         self._evaluations += 1
-        return group_revenue(self._instance, group)
+        value = self._kernel(self._instance, group)
+        if len(self._cache) >= self._max_cache_entries:
+            self._cache.clear()
+        self._cache[key] = value
+        return value
 
     # ------------------------------------------------------------------
     # strategy-level quantities
@@ -162,7 +301,10 @@ class RevenueModel:
         """Return ``Rev_S(z) = Rev(S + z) - Rev(S)`` (Definition 3).
 
         Only the (user, class) group of ``z`` changes when ``z`` is added, so
-        the difference is evaluated locally on that group.
+        the difference is evaluated locally on that group.  With the group
+        cache enabled the "before" value is almost always a hit (the group
+        was evaluated by an earlier call against the same strategy), so a
+        marginal-revenue call typically costs one kernel evaluation, not two.
         """
         triple = Triple(*triple)
         if triple in strategy:

@@ -1,0 +1,215 @@
+"""NumPy-backed revenue kernels: the vectorized engine behind ``RevenueModel``.
+
+The paper's algorithms owe their practicality to cheap marginal-revenue
+evaluations (two-level heaps + lazy forward, §5); the evaluation itself is
+the complementary lever.  This module re-implements the group-level revenue
+quantities of Definitions 1-3 on NumPy arrays:
+
+* a (user, class) group of ``n`` triples is flattened into columnar arrays
+  (:class:`GroupArrays`): times, items, prices ``p(i_j, t_j)``, primitive
+  probabilities ``q(u, i_j, t_j)`` and saturation factors ``beta_{i_j}``;
+* the pairwise time-difference matrix ``delta[j, k] = t_j - t_k`` drives both
+  the memory terms (Equation 1) -- a masked sum of ``1 / delta`` rows -- and
+  the competition mask of Definition 1, whose survival products are a masked
+  row-wise product of ``1 - q_k``;
+* the group revenue is the dot product of prices and dynamic probabilities.
+
+The kernels are exact re-implementations, not approximations: they perform
+the same arithmetic as the pure-Python reference in
+:mod:`repro.core.revenue`, so the two backends agree to floating-point
+round-off (enforced by ``tests/test_vectorized.py``).
+
+Backend selection
+-----------------
+``RevenueModel`` picks its kernel through :func:`resolve_backend`:
+
+* an explicit ``backend="numpy"`` / ``backend="python"`` argument wins;
+* otherwise the process-wide default applies -- settable with
+  :func:`set_default_backend` or the ``REPRO_REVENUE_BACKEND`` environment
+  variable, and ``"numpy"`` out of the box.
+
+The pure-Python backend is kept both as the executable specification the
+vectorized kernels are tested against and as a fallback for debugging
+(pure-Python stack traces point at the exact term that misbehaves).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.entities import Triple
+from repro.core.problem import RevMaxInstance
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_ENV_VAR",
+    "GroupArrays",
+    "get_default_backend",
+    "set_default_backend",
+    "resolve_backend",
+    "vectorized_memory_terms",
+    "vectorized_group_probabilities",
+    "vectorized_group_revenue",
+]
+
+#: Recognised revenue-engine backends.
+BACKENDS: Tuple[str, ...] = ("numpy", "python")
+
+#: Environment variable overriding the default backend for a whole process.
+BACKEND_ENV_VAR = "REPRO_REVENUE_BACKEND"
+
+_default_backend: Optional[str] = None
+
+
+def get_default_backend() -> str:
+    """Return the backend used when ``RevenueModel`` is given ``backend=None``.
+
+    Resolution order: :func:`set_default_backend` override, then the
+    ``REPRO_REVENUE_BACKEND`` environment variable, then ``"numpy"``.
+    """
+    if _default_backend is not None:
+        return _default_backend
+    env = os.environ.get(BACKEND_ENV_VAR)
+    if env:
+        if env not in BACKENDS:
+            raise ValueError(
+                f"{BACKEND_ENV_VAR}={env!r} is not a known backend; "
+                f"expected one of {BACKENDS}"
+            )
+        return env
+    return "numpy"
+
+
+def set_default_backend(backend: Optional[str]) -> None:
+    """Set the process-wide default backend (``None`` restores env/default)."""
+    global _default_backend
+    if backend is not None and backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    _default_backend = backend
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Validate an explicit backend choice or fall back to the default."""
+    if backend is None:
+        return get_default_backend()
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    return backend
+
+
+@dataclass(frozen=True)
+class GroupArrays:
+    """Columnar (NumPy) view of one (user, class) group of triples.
+
+    Attributes:
+        times: shape ``(n,)`` integer time steps ``t_j``.
+        items: shape ``(n,)`` integer item ids ``i_j``.
+        prices: shape ``(n,)`` prices ``p(i_j, t_j)``.
+        primitives: shape ``(n,)`` primitive probabilities ``q(u, i_j, t_j)``.
+        betas: shape ``(n,)`` saturation factors ``beta_{i_j}``.
+    """
+
+    times: np.ndarray
+    items: np.ndarray
+    prices: np.ndarray
+    primitives: np.ndarray
+    betas: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of triples in the group."""
+        return int(self.times.shape[0])
+
+    @classmethod
+    def from_group(cls, instance: RevMaxInstance,
+                   group: Sequence[Triple]) -> "GroupArrays":
+        """Flatten a group of triples into arrays against an instance.
+
+        The triples must share one user and one item class (as produced by
+        :meth:`repro.core.strategy.Strategy.group_of_triple`); this is not
+        re-checked here because the hot path cannot afford it.
+        """
+        n = len(group)
+        # Positional access (z[0] = user, z[1] = item, z[2] = t) works for both
+        # Triple named tuples and plain tuples and is faster than attributes.
+        items = np.fromiter((z[1] for z in group), dtype=np.intp, count=n)
+        times = np.fromiter((z[2] for z in group), dtype=np.intp, count=n)
+        adoption = instance.adoption
+        primitives = np.fromiter(
+            (adoption.probability(z[0], z[1], z[2]) for z in group),
+            dtype=np.float64,
+            count=n,
+        )
+        return cls(
+            times=times,
+            items=items,
+            prices=instance.prices[items, times],
+            primitives=primitives,
+            betas=instance.betas[items],
+        )
+
+
+def _memory_from_deltas(delta: np.ndarray, earlier: np.ndarray) -> np.ndarray:
+    """Memory terms given the pairwise time differences and their sign mask."""
+    inverse = np.divide(1.0, delta, out=np.zeros_like(delta), where=earlier)
+    return inverse.sum(axis=1)
+
+
+def vectorized_memory_terms(times: np.ndarray) -> np.ndarray:
+    """Memory terms ``M_S(u, i, t_j)`` for every triple of a group (Eq. 1).
+
+    Args:
+        times: shape ``(n,)`` times of the group's triples.
+
+    Returns:
+        Shape ``(n,)`` array whose ``j``-th entry is
+        ``sum over k with t_k < t_j of 1 / (t_j - t_k)``.
+    """
+    if times.shape[0] == 0:
+        return np.zeros(0)
+    delta = (times[:, None] - times[None, :]).astype(np.float64)
+    return _memory_from_deltas(delta, delta > 0.0)
+
+
+def vectorized_group_probabilities(arrays: GroupArrays) -> np.ndarray:
+    """Dynamic adoption probabilities ``q_S`` of every triple (Definition 1).
+
+    Vectorizes, for all ``n`` triples of the group at once,
+
+    ``q_S(u, i_j, t_j) = q(u, i_j, t_j) * beta_{i_j} ** M_j * prod_k (1 - q_k)``
+
+    where ``k`` ranges over the *competing* triples of the group: those at a
+    strictly earlier time, plus same-time triples of a different item.
+    """
+    n = arrays.size
+    if n == 0:
+        return np.zeros(0)
+    delta = (arrays.times[:, None] - arrays.times[None, :]).astype(np.float64)
+    earlier = delta > 0.0
+    memory = _memory_from_deltas(delta, earlier)
+    # beta ** 0 == 1 exactly (also for beta == 0), matching the scalar kernel.
+    saturation = np.power(arrays.betas, memory)
+    competes = earlier | (
+        (delta == 0.0) & (arrays.items[:, None] != arrays.items[None, :])
+    )
+    survival = np.where(competes, 1.0 - arrays.primitives[None, :], 1.0).prod(axis=1)
+    probabilities = arrays.primitives * saturation * survival
+    # Definition 1 short-circuits zero primitives; keep exact zeros.
+    return np.where(arrays.primitives > 0.0, probabilities, 0.0)
+
+
+def vectorized_group_revenue(instance: RevMaxInstance,
+                             group: Sequence[Triple]) -> float:
+    """Expected revenue of one (user, class) group (NumPy kernel).
+
+    Drop-in equivalent of :func:`repro.core.revenue.group_revenue`.
+    """
+    if not group:
+        return 0.0
+    arrays = GroupArrays.from_group(instance, group)
+    probabilities = vectorized_group_probabilities(arrays)
+    return float(arrays.prices @ probabilities)

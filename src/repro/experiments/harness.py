@@ -129,6 +129,7 @@ def standard_algorithms(
     rl_permutations: int = 8,
     include: Optional[Sequence[str]] = None,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> List[RevMaxAlgorithm]:
     """Build the six-algorithm suite the paper's figures compare.
 
@@ -138,12 +139,16 @@ def standard_algorithms(
         include: optional subset of algorithm names (e.g. ``["GG", "SLG"]``);
             recognised keys are GG, GG-No, RLG, SLG, TopRev, TopRat.
         seed: seed of the randomized components.
+        backend: revenue-engine backend forwarded to every solver ("numpy" /
+            "python"; ``None`` uses the process default).  Handy for
+            benchmarking the engines against each other on identical suites.
     """
     suite: Dict[str, RevMaxAlgorithm] = {
-        "GG": GlobalGreedy(),
-        "GG-No": GlobalGreedyNoSaturation(),
-        "RLG": RandomizedLocalGreedy(num_permutations=rl_permutations, seed=seed),
-        "SLG": SequentialLocalGreedy(),
+        "GG": GlobalGreedy(backend=backend),
+        "GG-No": GlobalGreedyNoSaturation(backend=backend),
+        "RLG": RandomizedLocalGreedy(num_permutations=rl_permutations, seed=seed,
+                                     backend=backend),
+        "SLG": SequentialLocalGreedy(backend=backend),
         "TopRev": TopRevenueBaseline(),
         "TopRat": TopRatingBaseline(predicted_ratings),
     }
