@@ -10,7 +10,6 @@ every item in its own class.  The reproduction checks the same ordering.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.experiments.figures import figure1_revenue_by_capacity_distribution

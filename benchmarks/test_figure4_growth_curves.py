@@ -10,7 +10,6 @@ non-decreasing, that G-Greedy's early increments dominate its late increments
 
 from __future__ import annotations
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.experiments.figures import figure4_revenue_growth_curves

@@ -10,7 +10,6 @@ beta and that strong saturation concentrates mass on a single recommendation.
 
 from __future__ import annotations
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.experiments.figures import figure5_repeat_histograms

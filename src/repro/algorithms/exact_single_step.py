@@ -23,7 +23,7 @@ capacities are not binding across steps; that variant is exposed as
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.core.entities import Triple
 from repro.core.problem import RevMaxInstance

@@ -2,19 +2,14 @@
 
 G-Greedy grows the strategy one triple at a time, always adding the candidate
 with the largest positive marginal revenue that does not violate the display
-or capacity constraint.  Two engineering devices make it fast:
+or capacity constraint.  The selection mechanics -- the two-level heap of
+§5.1, Minoux's lazy forward, batched candidate scoring and the
+blocked-candidate discards of Algorithm 1 -- live in the shared
+:class:`repro.core.selection.LazyGreedySelector`; this module only assembles
+the paper-level configuration:
 
-* a **two-level heap**: one lower-level heap per (user, item) pair holding its
-  time-step candidates, and an upper-level heap over the lower heaps' roots,
-  so the global maximum is found without maintaining one giant heap;
-* **lazy forward** (Minoux's accelerated greedy): a candidate's stored
-  marginal revenue is only recomputed when the candidate reaches the top and
-  its freshness flag shows it is stale -- valid because the revenue function
-  is submodular (Theorem 2), so stale values are upper bounds on current
-  marginal revenues.
-
-The class also covers variants used by the experiments:
-
+* heaps are seeded with isolated expected revenues ``p(i, t) * q(u, i, t)``
+  (line 8 of Algorithm 1);
 * ``ignore_saturation=True`` is the **GlobalNo** baseline: candidates are
   *selected* as if ``beta_i = 1`` everywhere, but the reported revenue of the
   final strategy uses the true saturation factors;
@@ -32,12 +27,10 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.constraints import ConstraintChecker
-from repro.core.entities import Triple
 from repro.core.problem import RevMaxInstance
 from repro.core.revenue import RevenueModel
+from repro.core.selection import SEED_ISOLATED, LazyGreedySelector
 from repro.core.strategy import Strategy
-from repro.heaps.binary_heap import AddressableMaxHeap
-from repro.heaps.two_level import TwoLevelHeap
 from repro.algorithms.base import RevMaxAlgorithm
 
 __all__ = ["GlobalGreedy", "GlobalGreedyNoSaturation"]
@@ -74,9 +67,6 @@ class GlobalGreedy(RevMaxAlgorithm):
         self.last_lookups: int = 0
         self.last_extras: Dict[str, object] = {}
 
-    # ------------------------------------------------------------------
-    # public entry point
-    # ------------------------------------------------------------------
     def build_strategy(self, instance: RevMaxInstance,
                        allowed_times: Optional[Iterable[int]] = None,
                        initial_strategy: Optional[Strategy] = None) -> Strategy:
@@ -95,50 +85,29 @@ class GlobalGreedy(RevMaxAlgorithm):
         )
         selection_model = RevenueModel(selection_instance, backend=self.backend)
         true_model = RevenueModel(instance, backend=self.backend)
-        checker = ConstraintChecker(instance)
         allowed = set(allowed_times) if allowed_times is not None else None
 
         strategy = (
             initial_strategy.copy() if initial_strategy is not None
             else Strategy(instance.catalog)
         )
-        current_revenue = true_model.revenue(strategy) if len(strategy) else 0.0
+        initial_revenue = true_model.revenue(strategy) if len(strategy) else 0.0
 
-        heap, flags, group_keys = self._build_heaps(instance, allowed, strategy)
+        selector = LazyGreedySelector(
+            instance, selection_model, ConstraintChecker(instance),
+            true_model=true_model if self._ignore_saturation else None,
+            use_lazy_forward=self._use_lazy_forward,
+            use_two_level_heap=self._use_two_level_heap,
+            seed_priorities=SEED_ISOLATED,
+            max_selections=self._max_selections(instance, allowed) + len(strategy),
+        )
+        candidates = (
+            triple for triple in instance.candidate_triples()
+            if allowed is None or triple.t in allowed
+        )
         growth_curve: List[Tuple[int, float]] = []
-        max_selections = self._max_selections(instance, allowed) + len(strategy)
-
-        while len(strategy) < max_selections and len(heap) > 0:
-            key, priority = heap.peek()
-            triple = Triple(*key)
-            if not checker.can_add(strategy, triple):
-                self._discard_blocked(instance, heap, group_keys, strategy, triple)
-                continue
-            freshness = strategy.group_size(
-                triple.user, instance.class_of(triple.item)
-            )
-            if self._use_lazy_forward and flags[triple] != freshness:
-                self._refresh_group(
-                    heap, flags, group_keys, selection_model, strategy, triple,
-                    freshness,
-                )
-                continue
-            if priority <= 0.0:
-                break
-            true_gain = (
-                priority if not self._ignore_saturation
-                else true_model.marginal_revenue(strategy, triple)
-            )
-            strategy.add(triple)
-            current_revenue += true_gain
-            heap.discard(triple)
-            group_keys.get((triple.user, triple.item), set()).discard(triple)
-            growth_curve.append((len(strategy), current_revenue))
-            if not self._use_lazy_forward:
-                self._eager_refresh(
-                    heap, flags, group_keys, selection_model, strategy, triple,
-                    instance,
-                )
+        selector.select(strategy, candidates, growth_curve=growth_curve,
+                        initial_revenue=initial_revenue)
 
         self.last_growth_curve = growth_curve
         self.last_evaluations = selection_model.evaluations
@@ -150,95 +119,12 @@ class GlobalGreedy(RevMaxAlgorithm):
         }
         return strategy
 
-    # ------------------------------------------------------------------
-    # heap construction and maintenance
-    # ------------------------------------------------------------------
-    def _build_heaps(self, instance: RevMaxInstance,
-                     allowed: Optional[Set[int]],
-                     strategy: Strategy):
-        """Populate the candidate heap with isolated expected revenues."""
-        heap = TwoLevelHeap() if self._use_two_level_heap else AddressableMaxHeap()
-        flags: Dict[Triple, int] = {}
-        group_keys: Dict[Tuple[int, int], Set[Triple]] = {}
-        for triple in instance.candidate_triples():
-            if allowed is not None and triple.t not in allowed:
-                continue
-            if triple in strategy:
-                continue
-            priority = instance.expected_isolated_revenue(triple)
-            if priority <= 0.0:
-                continue
-            group = (triple.user, triple.item)
-            if self._use_two_level_heap:
-                heap.insert(group, triple, priority)
-            else:
-                heap.insert(triple, priority)
-            flags[triple] = 0
-            group_keys.setdefault(group, set()).add(triple)
-        return heap, flags, group_keys
-
     @staticmethod
     def _max_selections(instance: RevMaxInstance,
                         allowed: Optional[Set[int]]) -> int:
         """Upper bound ``k * T * |users with candidates|`` on selections."""
         horizon = len(allowed) if allowed is not None else instance.horizon
         return instance.display_limit * horizon * max(1, len(instance.users()))
-
-    @staticmethod
-    def _discard_blocked(instance: RevMaxInstance, heap, group_keys,
-                         strategy: Strategy, triple: Triple) -> None:
-        """Drop candidates that can never become feasible again.
-
-        A display violation concerns only the popped triple's (user, time)
-        slot, so only that candidate is dropped.  A capacity violation means
-        the item's distinct audience is full and the user is not part of it;
-        since the audience never shrinks, every remaining candidate of the
-        (user, item) pair is dead and the whole lower heap is removed (line 26
-        of Algorithm 1).
-        """
-        display_blocked = (
-            strategy.display_count(triple.user, triple.t)
-            >= instance.display_limit
-        )
-        group = (triple.user, triple.item)
-        if display_blocked:
-            heap.discard(triple)
-            group_keys.get(group, set()).discard(triple)
-            return
-        for candidate in list(group_keys.get(group, ())):
-            heap.discard(candidate)
-        group_keys.pop(group, None)
-
-    def _refresh_group(self, heap, flags, group_keys, model: RevenueModel,
-                       strategy: Strategy, triple: Triple, freshness: int) -> None:
-        """Recompute the marginal revenue of every candidate in the lower heap."""
-        group = (triple.user, triple.item)
-        for candidate in list(group_keys.get(group, ())):
-            if candidate not in heap:
-                continue
-            value = model.marginal_revenue(strategy, candidate)
-            flags[candidate] = freshness
-            heap.update(candidate, value)
-
-    def _eager_refresh(self, heap, flags, group_keys, model: RevenueModel,
-                       strategy: Strategy, added: Triple,
-                       instance: RevMaxInstance) -> None:
-        """Without lazy forward, refresh every candidate affected by ``added``.
-
-        Affected candidates are those of the same user whose item belongs to
-        the same class as the added item.
-        """
-        target_class = instance.class_of(added.item)
-        freshness = strategy.group_size(added.user, target_class)
-        for (user, item), keys in group_keys.items():
-            if user != added.user or instance.class_of(item) != target_class:
-                continue
-            for candidate in list(keys):
-                if candidate not in heap:
-                    continue
-                value = model.marginal_revenue(strategy, candidate)
-                flags[candidate] = freshness
-                heap.update(candidate, value)
 
 
 class GlobalGreedyNoSaturation(GlobalGreedy):

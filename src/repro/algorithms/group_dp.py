@@ -33,7 +33,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.entities import Triple
 from repro.core.problem import RevMaxInstance
 from repro.core.revenue import kernel_for_backend
-from repro.core.strategy import Strategy
 
 __all__ = ["optimal_group_plan", "GroupDecompositionBound", "GroupBoundResult"]
 

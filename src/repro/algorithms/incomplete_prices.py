@@ -16,7 +16,7 @@ per-time-step algorithm run on the restricted steps (SL-/RL-Greedy).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.constraints import ConstraintChecker
 from repro.core.problem import RevMaxInstance
@@ -26,7 +26,6 @@ from repro.algorithms.base import RevMaxAlgorithm
 from repro.algorithms.global_greedy import GlobalGreedy
 from repro.algorithms.local_greedy import (
     RandomizedLocalGreedy,
-    SequentialLocalGreedy,
     greedy_single_step,
 )
 

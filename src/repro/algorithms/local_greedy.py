@@ -11,16 +11,21 @@ Both algorithms finalise the recommendations of one *time step* at a time
   paper shows why chronological order can be suboptimal).
 
 Within a single time step the selection is the same lazy-forward greedy used
-globally, restricted to that step's candidate triples; marginal revenues are
-always computed against the *full* strategy built so far, so recommendations
-fixed at other (earlier-processed) time steps are correctly accounted for.
+globally -- :class:`repro.core.selection.LazyGreedySelector` restricted to
+that step's candidates, seeded with batched marginal revenues against the
+*full* strategy built so far, so recommendations fixed at other
+(earlier-processed) time steps are correctly accounted for.
+
+RL-Greedy's permutations are embarrassingly parallel: pass ``jobs=N`` to fan
+the per-permutation runs out across worker processes (the permutations are
+sampled up front in the parent, so results are identical for any job count).
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,8 +33,9 @@ from repro.core.constraints import ConstraintChecker
 from repro.core.entities import Triple
 from repro.core.problem import RevMaxInstance
 from repro.core.revenue import RevenueModel
+from repro.core.selection import SEED_MARGINAL, LazyGreedySelector
 from repro.core.strategy import Strategy
-from repro.heaps.binary_heap import AddressableMaxHeap
+from repro.parallel import default_jobs
 from repro.algorithms.base import RevMaxAlgorithm
 
 __all__ = ["SequentialLocalGreedy", "RandomizedLocalGreedy", "greedy_single_step"]
@@ -46,10 +52,11 @@ def greedy_single_step(
 ) -> None:
     """Greedily add this time step's triples to ``strategy`` (in place).
 
-    Implements lines 5-15 of Algorithm 2: a max-heap over the step's candidate
-    triples is seeded with their marginal revenue given the current strategy,
-    and candidates are admitted best-first (with lazy re-evaluation) while
-    their marginal revenue stays positive and no constraint is violated.
+    Implements lines 5-15 of Algorithm 2 through the shared selection engine:
+    a flat max-heap over the step's candidate triples is seeded with their
+    (batch-scored) marginal revenue given the current strategy, and
+    candidates are admitted best-first (with lazy re-evaluation) while their
+    marginal revenue stays positive and no constraint is violated.
 
     Args:
         instance: the REVMAX instance.
@@ -61,45 +68,17 @@ def greedy_single_step(
         true_model: model used for the growth-curve revenue (defaults to
             ``model``).
     """
-    true_model = true_model or model
-    heap = AddressableMaxHeap()
-    flags: Dict[Triple, int] = {}
-    for triple in instance.candidate_triples():
-        if triple.t != time_step or triple in strategy:
-            continue
-        value = model.marginal_revenue(strategy, triple)
-        if value <= 0.0:
-            # Marginal revenues only shrink as the strategy grows
-            # (submodularity), so a non-positive candidate can be skipped.
-            continue
-        heap.insert(triple, value)
-        flags[triple] = strategy.group_size(
-            triple.user, instance.class_of(triple.item)
-        )
-
-    while heap:
-        triple, priority = heap.peek()
-        triple = Triple(*triple)
-        if priority <= 0.0:
-            break
-        if not checker.can_add(strategy, triple):
-            heap.discard(triple)
-            continue
-        freshness = strategy.group_size(triple.user, instance.class_of(triple.item))
-        if flags[triple] != freshness:
-            value = model.marginal_revenue(strategy, triple)
-            flags[triple] = freshness
-            heap.update(triple, value)
-            continue
-        gain = (
-            priority if model is true_model
-            else true_model.marginal_revenue(strategy, triple)
-        )
-        strategy.add(triple)
-        heap.discard(triple)
-        if growth_curve is not None:
-            previous = growth_curve[-1][1] if growth_curve else 0.0
-            growth_curve.append((len(strategy), previous + gain))
+    selector = LazyGreedySelector(
+        instance, model, checker,
+        true_model=true_model,
+        use_two_level_heap=False,
+        seed_priorities=SEED_MARGINAL,
+    )
+    candidates = (
+        triple for triple in instance.candidate_triples()
+        if triple.t == time_step
+    )
+    selector.select(strategy, candidates, growth_curve=growth_curve)
 
 
 class SequentialLocalGreedy(RevMaxAlgorithm):
@@ -155,17 +134,22 @@ class RandomizedLocalGreedy(RevMaxAlgorithm):
         seed: random seed controlling the sampled permutations.
         backend: revenue-engine backend ("numpy" / "python"); ``None`` uses
             the process default.
+        jobs: number of worker processes evaluating permutations (``None`` or
+            1: run serially in-process).  Permutations are sampled up front,
+            so the selected strategy is identical for every job count.
     """
 
     name = "RL-Greedy"
 
     def __init__(self, num_permutations: int = 20, seed: Optional[int] = 0,
-                 backend: Optional[str] = None) -> None:
+                 backend: Optional[str] = None,
+                 jobs: Optional[int] = None) -> None:
         if num_permutations <= 0:
             raise ValueError("num_permutations must be positive")
         self._num_permutations = num_permutations
         self._seed = seed
         self.backend = backend
+        self.jobs = jobs
         self.last_growth_curve: List[Tuple[int, float]] = []
         self.last_evaluations: int = 0
         self.last_lookups: int = 0
@@ -186,25 +170,66 @@ class RandomizedLocalGreedy(RevMaxAlgorithm):
         return sorted(permutations)
 
     def build_strategy(self, instance: RevMaxInstance) -> Strategy:
-        model = RevenueModel(instance, backend=self.backend)
-        best_strategy: Optional[Strategy] = None
-        best_revenue = -float("inf")
-        best_curve: List[Tuple[int, float]] = []
-        best_order: Tuple[int, ...] = ()
-        runner = SequentialLocalGreedy(backend=self.backend)
-        for order in self._sample_permutations(instance.horizon):
-            strategy = runner.build_strategy(instance, time_order=order)
-            revenue = model.revenue(strategy)
-            if revenue > best_revenue:
-                best_revenue = revenue
-                best_strategy = strategy
-                best_curve = list(runner.last_growth_curve)
-                best_order = tuple(order)
-        self.last_growth_curve = best_curve
-        self.last_evaluations = model.evaluations
-        self.last_lookups = model.lookups
+        orders = self._sample_permutations(instance.horizon)
+        # Same jobs convention as repro.parallel: None/1 serial, 0 per-core.
+        if self.jobs is not None and self.jobs != 1:
+            outcomes, evaluations, lookups = self._run_parallel(instance, orders)
+        else:
+            outcomes, evaluations, lookups = self._run_serial(instance, orders)
+
+        best: Optional[Tuple[float, Strategy, List[Tuple[int, float]], Tuple[int, ...]]] = None
+        for order, strategy, revenue, curve in outcomes:
+            if best is None or revenue > best[0]:
+                best = (revenue, strategy, curve, tuple(order))
+
+        self.last_evaluations = evaluations
+        self.last_lookups = lookups
         self.last_extras = {
             "num_permutations": self._num_permutations,
-            "best_order": best_order,
+            "best_order": best[3] if best is not None else (),
+            "jobs": default_jobs() if self.jobs == 0 else (self.jobs or 1),
         }
-        return best_strategy if best_strategy is not None else Strategy(instance.catalog)
+        if best is None:
+            self.last_growth_curve = []
+            return Strategy(instance.catalog)
+        self.last_growth_curve = list(best[2])
+        return best[1]
+
+    def _run_serial(self, instance: RevMaxInstance,
+                    orders: Sequence[Tuple[int, ...]]):
+        """Evaluate every permutation in-process (shared scoring cache)."""
+        model = RevenueModel(instance, backend=self.backend)
+        runner = SequentialLocalGreedy(backend=self.backend)
+        outcomes = []
+        for order in orders:
+            strategy = runner.build_strategy(instance, time_order=order)
+            revenue = model.revenue(strategy)
+            outcomes.append(
+                (order, strategy, revenue, list(runner.last_growth_curve))
+            )
+        return outcomes, model.evaluations, model.lookups
+
+    def _run_parallel(self, instance: RevMaxInstance,
+                      orders: Sequence[Tuple[int, ...]]):
+        """Fan the permutations out across worker processes.
+
+        Imported lazily: the parallel runner lives in the experiments layer
+        (it is experiment infrastructure, not algorithm logic), and the
+        experiments layer imports this module at load time.
+        """
+        from repro.experiments.parallel import run_permutations_parallel
+
+        runs = run_permutations_parallel(
+            instance, orders, backend=self.backend, jobs=self.jobs
+        )
+        outcomes = []
+        evaluations = 0
+        lookups = 0
+        for order, run in zip(orders, runs):
+            strategy = Strategy(
+                instance.catalog, (Triple(*z) for z in run.triples)
+            )
+            outcomes.append((order, strategy, run.revenue, run.growth_curve))
+            evaluations += run.evaluations
+            lookups += run.lookups
+        return outcomes, evaluations, lookups

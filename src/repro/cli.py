@@ -20,12 +20,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.algorithms.base import RevMaxAlgorithm
 from repro.algorithms.baselines import TopRatingBaseline, TopRevenueBaseline
 from repro.algorithms.global_greedy import GlobalGreedy, GlobalGreedyNoSaturation
 from repro.algorithms.local_greedy import RandomizedLocalGreedy, SequentialLocalGreedy
+from repro.core.vectorized import BACKENDS, set_default_backend
 from repro.datasets.synthetic import SyntheticConfig
 from repro.experiments import figures
 from repro.experiments.harness import (
@@ -47,23 +48,38 @@ _EXHIBITS = (
     "figure5", "figure6", "figure7", "random-prices", "theory",
 )
 
+#: Exhibits that run the full algorithm suite and honour ``--jobs``.
+_SUITE_EXHIBITS = ("table2", "figure1", "figure2", "figure3")
 
-def _make_algorithm(key: str, pipeline, seed: int) -> RevMaxAlgorithm:
+
+def _make_algorithm(key: str, pipeline, seed: int,
+                    backend: Optional[str] = None,
+                    jobs: Optional[int] = None) -> RevMaxAlgorithm:
     """Instantiate one algorithm by its CLI key."""
     key = key.lower()
     if key == "gg":
-        return GlobalGreedy()
+        return GlobalGreedy(backend=backend)
     if key == "gg-no":
-        return GlobalGreedyNoSaturation()
+        return GlobalGreedyNoSaturation(backend=backend)
     if key == "slg":
-        return SequentialLocalGreedy()
+        return SequentialLocalGreedy(backend=backend)
     if key == "rlg":
-        return RandomizedLocalGreedy(num_permutations=8, seed=seed)
+        return RandomizedLocalGreedy(num_permutations=8, seed=seed,
+                                     backend=backend, jobs=jobs)
     if key == "topre":
         return TopRevenueBaseline()
     if key == "topra":
         return TopRatingBaseline(predicted_ratings_map(pipeline))
     raise ValueError(f"unknown algorithm {key!r}; expected one of {_ALGORITHM_KEYS}")
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser, jobs_help: str) -> None:
+    """Attach the revenue-engine knobs shared by every subcommand."""
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="revenue-engine backend (default: numpy, or "
+                             "the REPRO_REVENUE_BACKEND environment variable)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help=jobs_help)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the result (summary + plan) as JSON")
     solve.add_argument("--save-instance", metavar="PATH", default=None,
                        help="write the solved instance as JSON")
+    _add_engine_arguments(
+        solve,
+        jobs_help="worker processes for RL-Greedy's permutations "
+                  "(0: one per core; other algorithms run in-process)",
+    )
 
     compare = subparsers.add_parser(
         "compare", help="run the paper's six-algorithm suite on one dataset"
@@ -92,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--permutations", type=int, default=8,
                          help="number of RL-Greedy permutations")
+    _add_engine_arguments(
+        compare,
+        jobs_help="worker processes running the suite (0: one per core; "
+                  "results are identical to a serial run)",
+    )
 
     exhibit = subparsers.add_parser(
         "exhibit", help="regenerate one table/figure of the paper's evaluation"
@@ -99,13 +125,19 @@ def build_parser() -> argparse.ArgumentParser:
     exhibit.add_argument("name", choices=_EXHIBITS)
     exhibit.add_argument("--scale", choices=sorted(SCALES), default="tiny")
     exhibit.add_argument("--seed", type=int, default=0)
+    _add_engine_arguments(
+        exhibit,
+        jobs_help="worker processes for the suite-running exhibits "
+                  f"({', '.join(_SUITE_EXHIBITS)}); ignored by the rest",
+    )
 
     return parser
 
 
 def _command_solve(args: argparse.Namespace) -> int:
     pipeline = prepare_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    algorithm = _make_algorithm(args.algorithm, pipeline, args.seed)
+    algorithm = _make_algorithm(args.algorithm, pipeline, args.seed,
+                                backend=args.backend, jobs=args.jobs)
     result = algorithm.run(pipeline.instance)
     print(result.summary())
     if args.save_instance:
@@ -123,8 +155,9 @@ def _command_compare(args: argparse.Namespace) -> int:
         predicted_ratings=predicted_ratings_map(pipeline),
         rl_permutations=args.permutations,
         seed=args.seed,
+        backend=args.backend,
     )
-    results = run_algorithms(pipeline.instance, suite)
+    results = run_algorithms(pipeline.instance, suite, jobs=args.jobs)
     rows = [
         [name, result.revenue, result.strategy_size, result.runtime_seconds]
         for name, result in sorted(results.items(), key=lambda item: -item[1].revenue)
@@ -135,6 +168,10 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 def _command_exhibit(args: argparse.Namespace) -> int:
     name = args.name
+    if args.backend is not None:
+        # The exhibit functions build their own models throughout; the
+        # process-wide default is the one switch that reaches all of them.
+        set_default_backend(args.backend)
     if name in ("figure6", "random-prices", "theory"):
         if name == "figure6":
             result = figures.figure6_scalability(
@@ -156,13 +193,17 @@ def _command_exhibit(args: argparse.Namespace) -> int:
     if name == "table1":
         result = figures.table1_dataset_statistics(pipelines)
     elif name == "table2":
-        result = figures.table2_running_times(pipelines)
+        result = figures.table2_running_times(pipelines, jobs=args.jobs)
     elif name == "figure1":
-        result = figures.figure1_revenue_by_capacity_distribution(pipelines)
+        result = figures.figure1_revenue_by_capacity_distribution(
+            pipelines, jobs=args.jobs
+        )
     elif name == "figure2":
-        result = figures.figure2_revenue_by_saturation(pipelines)
+        result = figures.figure2_revenue_by_saturation(pipelines, jobs=args.jobs)
     elif name == "figure3":
-        result = figures.figure3_revenue_by_saturation_singleton(pipelines)
+        result = figures.figure3_revenue_by_saturation_singleton(
+            pipelines, jobs=args.jobs
+        )
     elif name == "figure4":
         result = figures.figure4_revenue_growth_curves(pipelines["amazon"])
     elif name == "figure5":

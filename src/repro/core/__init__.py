@@ -17,10 +17,12 @@ from repro.core.constraints import (
 )
 from repro.core.effective import EffectiveRevenueModel
 from repro.core.random_prices import PriceDistribution, TaylorRevenueModel
+from repro.core.selection import LazyGreedySelector
 from repro.core.vectorized import (
     GroupArrays,
     get_default_backend,
     set_default_backend,
+    vectorized_extended_group_revenues,
     vectorized_group_probabilities,
     vectorized_group_revenue,
     vectorized_memory_terms,
@@ -35,6 +37,7 @@ __all__ = [
     "EffectiveRevenueModel",
     "ItemCatalog",
     "ItemMeta",
+    "LazyGreedySelector",
     "PriceDistribution",
     "RevMaxInstance",
     "RevenueModel",
@@ -47,6 +50,7 @@ __all__ = [
     "group_dynamic_probability",
     "memory_term",
     "set_default_backend",
+    "vectorized_extended_group_revenues",
     "vectorized_group_probabilities",
     "vectorized_group_revenue",
     "vectorized_memory_terms",

@@ -16,7 +16,7 @@ checks (used inside the greedy loops, where triples are admitted one by one).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import List
 
 from repro.core.entities import Triple
 from repro.core.problem import RevMaxInstance

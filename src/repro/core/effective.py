@@ -19,7 +19,7 @@ one.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional
 
 from repro.core.entities import Triple
 from repro.core.problem import RevMaxInstance

@@ -26,14 +26,13 @@ of a fixed adoption table.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.entities import ItemCatalog, Triple
 from repro.core.problem import AdoptionTable, RevMaxInstance
 from repro.core.revenue import RevenueModel
-from repro.core.strategy import Strategy
 
 __all__ = ["PriceDistribution", "TaylorRevenueModel"]
 

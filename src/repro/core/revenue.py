@@ -32,7 +32,11 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 from repro.core.entities import Triple
 from repro.core.problem import RevMaxInstance
 from repro.core.strategy import Strategy
-from repro.core.vectorized import resolve_backend, vectorized_group_revenue
+from repro.core.vectorized import (
+    resolve_backend,
+    vectorized_extended_group_revenues,
+    vectorized_group_revenue,
+)
 
 __all__ = [
     "memory_term",
@@ -192,6 +196,15 @@ class RevenueModel:
         self._max_cache_entries = int(max_cache_entries)
         self._evaluations = 0
         self._cache_hits = 0
+        self._lookups = 0
+        # The grouped batch path assumes the reference revenue decomposition;
+        # subclasses that override the group or marginal semantics (e.g. the
+        # R-REVMAX effective model) fall back to per-triple scalar calls.
+        cls = type(self)
+        self._reference_semantics = (
+            cls.group_revenue is RevenueModel.group_revenue
+            and cls.marginal_revenue is RevenueModel.marginal_revenue
+        )
 
     @property
     def instance(self) -> RevMaxInstance:
@@ -226,15 +239,23 @@ class RevenueModel:
 
     @property
     def lookups(self) -> int:
-        """Total :meth:`group_revenue` calls (kernel evaluations + cache hits).
+        """Number of group-revenue values the *caller requested*.
 
-        This is the number of group evaluations the *caller requested* --
-        the quantity an algorithmic device such as lazy forward reduces --
-        whereas :attr:`evaluations` is the number the engine actually had to
-        compute.  The ablation benchmarks compare lookups so that their
+        This is the quantity an algorithmic device such as lazy forward
+        reduces, whereas :attr:`evaluations` is the number the engine actually
+        had to compute.  The ablation benchmarks compare lookups so that their
         verdict on the algorithms is independent of the engine's cache.
+
+        Counting rules: every :meth:`group_revenue` call is one lookup (so a
+        scalar :meth:`marginal_revenue` costs two -- before and after), and a
+        :meth:`marginal_revenue_batch` over ``k`` not-yet-selected candidates
+        costs exactly ``k`` lookups -- one per candidate scored, regardless of
+        how the engine buckets the batch internally.  Because the batch path
+        shares each bucket's "before" value instead of requesting it per
+        candidate, ``lookups`` is **not** in general equal to
+        ``evaluations + cache_hits`` once batched scoring is in play.
         """
-        return self._evaluations + self._cache_hits
+        return self._lookups
 
     def cache_info(self) -> Dict[str, int]:
         """Return cache statistics: size, hits and kernel evaluations."""
@@ -250,15 +271,25 @@ class RevenueModel:
             self._cache.clear()
 
     def reset_counters(self) -> None:
-        """Reset the evaluation and cache-hit counters."""
+        """Reset the evaluation, cache-hit and lookup counters."""
         self._evaluations = 0
         self._cache_hits = 0
+        self._lookups = 0
 
     # ------------------------------------------------------------------
     # group-level primitives (override points)
     # ------------------------------------------------------------------
     def group_revenue(self, group: Sequence[Triple]) -> float:
         """Expected revenue of one (user, class) group (memoised)."""
+        self._lookups += 1
+        return self._group_revenue_internal(group)
+
+    def _group_revenue_internal(self, group: Sequence[Triple]) -> float:
+        """Memoised group revenue without touching the lookup counter.
+
+        The batch path uses this for the shared per-bucket "before" value,
+        which is engine bookkeeping rather than a caller-requested score.
+        """
         if self._cache is None:
             self._evaluations += 1
             return self._kernel(self._instance, group)
@@ -269,10 +300,14 @@ class RevenueModel:
             return cached
         self._evaluations += 1
         value = self._kernel(self._instance, group)
+        self._cache_store(key, value)
+        return value
+
+    def _cache_store(self, key: FrozenSet[Triple], value: float) -> None:
+        """Insert into the cache, clearing wholesale at the memory bound."""
         if len(self._cache) >= self._max_cache_entries:
             self._cache.clear()
         self._cache[key] = value
-        return value
 
     # ------------------------------------------------------------------
     # strategy-level quantities
@@ -313,6 +348,107 @@ class RevenueModel:
         before = self.group_revenue(group) if group else 0.0
         after = self.group_revenue(group + [triple])
         return after - before
+
+    def marginal_revenue_batch(
+        self, strategy: Strategy, triples: Sequence[Triple]
+    ) -> List[float]:
+        """Marginal revenues of many candidates against one strategy.
+
+        Semantically identical to calling :meth:`marginal_revenue` per triple
+        (triples already in the strategy score 0.0), but executed per
+        (user, class) *bucket*: the shared "before" group revenue is fetched
+        once per bucket, and the "after" revenues of all of a bucket's
+        candidates are evaluated by
+        :func:`repro.core.vectorized.vectorized_extended_group_revenues` in a
+        single broadcasted pass (numpy backend, when the bucket is large
+        enough to amortize the launch).  This is the path the heap seeding
+        and lazy-refresh steps of
+        :class:`repro.core.selection.LazyGreedySelector` run on.
+
+        Counters: a batch over ``k`` not-yet-selected candidates adds exactly
+        ``k`` to :attr:`lookups`; :attr:`evaluations` grows only by the kernel
+        rows actually computed (cache-answered rows count as cache hits).
+
+        Subclasses that override :meth:`group_revenue` or
+        :meth:`marginal_revenue` automatically fall back to the scalar
+        per-triple path, so alternative revenue semantics stay correct.
+        """
+        triples = [Triple(*z) for z in triples]
+        if not self._reference_semantics:
+            return [self.marginal_revenue(strategy, z) for z in triples]
+        results = [0.0] * len(triples)
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        for index, triple in enumerate(triples):
+            if triple in strategy:
+                continue
+            key = (triple.user, self._instance.class_of(triple.item))
+            buckets.setdefault(key, []).append(index)
+        for (user, class_id), indices in buckets.items():
+            group = strategy.group(user, class_id)
+            before = self._group_revenue_internal(group) if group else 0.0
+            afters = self._extended_group_revenues(
+                group, [triples[index] for index in indices]
+            )
+            for index, after in zip(indices, afters):
+                results[index] = after - before
+            self._lookups += len(indices)
+        return results
+
+    def _extended_group_revenues(
+        self, group: List[Triple], candidates: List[Triple]
+    ) -> List[float]:
+        """Cache-aware ``group_revenue(group + [c])`` for each candidate.
+
+        Cached extensions are answered from the memoised groups; the misses
+        go to the broadcasted kernel in one launch when the bucket carries
+        enough arithmetic (the same ``VECTORIZE_MIN_GROUP`` work threshold as
+        the adaptive scalar dispatch, scaled by the batch size), otherwise to
+        the backend's scalar kernel per candidate.
+        """
+        values = [0.0] * len(candidates)
+        base_key = frozenset(group) if self._cache is not None else None
+        if self._cache is None:
+            pending = list(candidates)
+            pending_slots = list(range(len(candidates)))
+        else:
+            pending, pending_slots = [], []
+            for slot, candidate in enumerate(candidates):
+                cached = self._cache.get(base_key | {candidate})
+                if cached is not None:
+                    self._cache_hits += 1
+                    values[slot] = cached
+                else:
+                    pending.append(candidate)
+                    pending_slots.append(slot)
+        if not pending:
+            return values
+        # One broadcasted launch replaces ``m`` scalar evaluations of
+        # O((n+1)^2) pairwise work each; it pays off once that total work
+        # clears the same crossover as the adaptive per-group dispatch
+        # (whose measured break-even is VECTORIZE_MIN_GROUP triples, i.e.
+        # VECTORIZE_MIN_GROUP^2 pairwise terms).  Below it, the scalar
+        # kernel avoids the array-construction overhead.
+        use_batched_kernel = (
+            self._backend == "numpy"
+            and len(pending) * (len(group) + 1) ** 2
+            >= VECTORIZE_MIN_GROUP ** 2
+        )
+        if use_batched_kernel:
+            computed = vectorized_extended_group_revenues(
+                self._instance, group, pending
+            )
+        else:
+            computed = [
+                self._kernel(self._instance, group + [candidate])
+                for candidate in pending
+            ]
+        self._evaluations += len(pending)
+        for slot, candidate, value in zip(pending_slots, pending, computed):
+            value = float(value)
+            values[slot] = value
+            if self._cache is not None:
+                self._cache_store(base_key | {candidate}, value)
+        return values
 
     def marginal_revenue_components(
         self, strategy: Strategy, triple: Triple

@@ -1,0 +1,293 @@
+"""The shared lazy-greedy selection engine of Algorithms 1 and 2.
+
+Every greedy REVMAX solver in the paper -- G-Greedy/GlobalNo (Algorithm 1),
+the per-time-step loop of SL-/RL-Greedy (Algorithm 2), and the greedy warm
+start of the local-search approximation -- is the *same* submodular
+lazy-forward skeleton:
+
+1. **seed** a max-heap frontier with an optimistic priority per candidate
+   (the isolated expected revenue ``p(i,t) * q(u,i,t)`` for Algorithm 1,
+   the exact marginal revenue for Algorithm 2);
+2. **pop** the best candidate; drop it (or its whole (user, item) heap) if a
+   constraint rules it out;
+3. **refresh** its stored priority lazily when the freshness flag shows the
+   candidate's (user, class) group changed since the value was computed --
+   valid because stale values upper-bound current marginal revenues under
+   submodularity (Minoux's accelerated greedy);
+4. **admit** while the marginal revenue stays positive.
+
+:class:`LazyGreedySelector` owns this loop once, parameterised by
+
+* the *frontier*: the two-level heap of §5.1 (one lower heap per
+  (user, item) pair) or a single flat addressable heap (ablation);
+* the *refresh policy*: lazy forward (default) or eager re-scoring of every
+  affected candidate after each admission (ablation);
+* the *seeding rule*: :data:`SEED_ISOLATED` or :data:`SEED_MARGINAL`;
+* a *selection model* distinct from the *true model* (the GlobalNo baseline
+  selects as if ``beta = 1`` but reports true gains);
+* optional growth-curve recording and an ``on_admit`` hook.
+
+Candidate scoring is batched: heap seeding and per-group refreshes go
+through :meth:`repro.core.revenue.RevenueModel.marginal_revenue_batch`, so a
+refresh of one (user, item) group is a single broadcasted kernel pass
+sharing the cached "before" group revenue instead of one kernel launch per
+candidate time step.
+
+The algorithms in :mod:`repro.algorithms` reduce to paper-logic-only
+orchestration on top of this class; the selection mechanics live here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.constraints import ConstraintChecker
+from repro.core.entities import Triple
+from repro.core.problem import RevMaxInstance
+from repro.core.revenue import RevenueModel
+from repro.core.strategy import Strategy
+from repro.heaps.binary_heap import AddressableMaxHeap
+from repro.heaps.two_level import TwoLevelHeap
+
+__all__ = ["LazyGreedySelector", "SEED_ISOLATED", "SEED_MARGINAL"]
+
+#: Seed the frontier with isolated expected revenues ``p(i,t) * q(u,i,t)``
+#: (line 8 of Algorithm 1).  Cheap (no revenue-model calls) and a valid
+#: optimistic bound, so seeded entries start maximally stale (flag 0).
+SEED_ISOLATED = "isolated"
+
+#: Seed the frontier with exact marginal revenues against the current
+#: strategy (lines 5-8 of Algorithm 2), computed in one batched pass.
+#: Seeded entries start fresh.
+SEED_MARGINAL = "marginal"
+
+
+class LazyGreedySelector:
+    """Heap-seeding / lazy-refresh / admit loop shared by the greedy solvers.
+
+    One selector instance holds the loop *configuration*; :meth:`select` can
+    be called repeatedly against the same models (SL-Greedy calls it once per
+    time step, accumulating into one strategy and growth curve).
+
+    Args:
+        instance: the REVMAX instance (provides constraints metadata, item
+            classes and isolated revenues).
+        model: revenue model scoring the selection decisions.
+        checker: constraint checker gating admissions (pass one built with
+            ``enforce_capacity=False`` for R-REVMAX-style display-only runs).
+        true_model: optional model whose marginal revenue is the *reported*
+            gain of an admission.  ``None`` (or the selection model itself)
+            means the selection priority is the gain -- the normal case;
+            GlobalNo passes the true-saturation model here while selecting
+            with a saturation-blind one.
+        use_lazy_forward: refresh stale priorities only when they surface at
+            the top (default) instead of eagerly re-scoring every affected
+            candidate after each admission.
+        use_two_level_heap: use the two-level frontier of §5.1 (default) or a
+            single flat addressable heap.
+        seed_priorities: :data:`SEED_ISOLATED` or :data:`SEED_MARGINAL`.
+        max_selections: absolute cap on the strategy size (``None``: admit
+            until the frontier is exhausted or goes non-positive).
+        on_admit: optional ``(triple, gain)`` callback fired after every
+            admission (growth-curve hooks beyond the built-in recording).
+    """
+
+    def __init__(self, instance: RevMaxInstance, model: RevenueModel,
+                 checker: ConstraintChecker, *,
+                 true_model: Optional[RevenueModel] = None,
+                 use_lazy_forward: bool = True,
+                 use_two_level_heap: bool = True,
+                 seed_priorities: str = SEED_MARGINAL,
+                 max_selections: Optional[int] = None,
+                 on_admit: Optional[Callable[[Triple, float], None]] = None,
+                 ) -> None:
+        if seed_priorities not in (SEED_ISOLATED, SEED_MARGINAL):
+            raise ValueError(
+                f"unknown seeding rule {seed_priorities!r}; expected "
+                f"{SEED_ISOLATED!r} or {SEED_MARGINAL!r}"
+            )
+        self._instance = instance
+        self._model = model
+        self._checker = checker
+        self._true_model = true_model if true_model is not model else None
+        self._use_lazy_forward = use_lazy_forward
+        self._use_two_level_heap = use_two_level_heap
+        self._seed_priorities = seed_priorities
+        self._max_selections = max_selections
+        self._on_admit = on_admit
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def select(self, strategy: Strategy, candidates: Iterable[Triple], *,
+               growth_curve: Optional[List[Tuple[int, float]]] = None,
+               initial_revenue: Optional[float] = None) -> int:
+        """Greedily admit candidates into ``strategy`` (in place).
+
+        Args:
+            strategy: the strategy built so far; modified in place.
+            candidates: candidate triples to consider (triples already in the
+                strategy are skipped).  Iteration order fixes heap
+                tie-breaking, so callers should pass a deterministic order.
+            growth_curve: optional list receiving cumulative
+                ``(size, revenue)`` checkpoints, appended across calls.
+            initial_revenue: revenue of ``strategy`` before this call; when
+                ``None``, continues from the last growth-curve entry (0.0 on
+                a fresh curve).
+
+        Returns:
+            The number of triples admitted.
+        """
+        heap, flags, group_keys = self._seed(strategy, candidates)
+        if initial_revenue is None:
+            initial_revenue = (
+                growth_curve[-1][1] if growth_curve else 0.0
+            )
+        revenue = initial_revenue
+        admitted = 0
+
+        while heap and (
+            self._max_selections is None
+            or len(strategy) < self._max_selections
+        ):
+            key, priority = heap.peek()
+            triple = Triple(*key)
+            if not self._checker.can_add(strategy, triple):
+                self._discard_blocked(heap, group_keys, strategy, triple)
+                continue
+            freshness = strategy.group_size(
+                triple.user, self._instance.class_of(triple.item)
+            )
+            if self._use_lazy_forward and flags[triple] != freshness:
+                self._refresh_group(heap, flags, group_keys, strategy,
+                                    triple, freshness)
+                continue
+            if priority <= 0.0:
+                break
+            gain = (
+                priority if self._true_model is None
+                else self._true_model.marginal_revenue(strategy, triple)
+            )
+            strategy.add(triple)
+            heap.discard(triple)
+            group_keys.get((triple.user, triple.item), set()).discard(triple)
+            admitted += 1
+            revenue += gain
+            if growth_curve is not None:
+                growth_curve.append((len(strategy), revenue))
+            if self._on_admit is not None:
+                self._on_admit(triple, gain)
+            if not self._use_lazy_forward:
+                self._eager_refresh(heap, flags, group_keys, strategy, triple)
+        return admitted
+
+    # ------------------------------------------------------------------
+    # frontier construction
+    # ------------------------------------------------------------------
+    def _seed(self, strategy: Strategy, candidates: Iterable[Triple]):
+        """Build the frontier, freshness flags and (user, item) key index."""
+        heap = (
+            TwoLevelHeap() if self._use_two_level_heap else AddressableMaxHeap()
+        )
+        flags: Dict[Triple, int] = {}
+        group_keys: Dict[Tuple[int, int], Set[Triple]] = {}
+        pool = [
+            triple for triple in candidates if triple not in strategy
+        ]
+        if self._seed_priorities == SEED_ISOLATED:
+            priorities = [
+                self._instance.expected_isolated_revenue(triple)
+                for triple in pool
+            ]
+            freshness = [0] * len(pool)
+        else:
+            priorities = self._model.marginal_revenue_batch(strategy, pool)
+            freshness = [
+                strategy.group_size(
+                    triple.user, self._instance.class_of(triple.item)
+                )
+                for triple in pool
+            ]
+        for triple, priority, flag in zip(pool, priorities, freshness):
+            if priority <= 0.0:
+                # Submodularity: marginal revenues only shrink as the
+                # strategy grows, so non-positive seeds can never be admitted.
+                continue
+            group = (triple.user, triple.item)
+            if self._use_two_level_heap:
+                heap.insert(group, triple, priority)
+            else:
+                heap.insert(triple, priority)
+            flags[triple] = flag
+            group_keys.setdefault(group, set()).add(triple)
+        return heap, flags, group_keys
+
+    # ------------------------------------------------------------------
+    # frontier maintenance
+    # ------------------------------------------------------------------
+    def _discard_blocked(self, heap, group_keys, strategy: Strategy,
+                         triple: Triple) -> None:
+        """Drop candidates that can never become feasible again.
+
+        A display violation concerns only the popped triple's (user, time)
+        slot, so only that candidate is dropped.  A capacity violation means
+        the item's distinct audience is full and the user is not part of it;
+        since the audience never shrinks, every remaining candidate of the
+        (user, item) pair is dead and the whole lower heap is removed (line
+        26 of Algorithm 1).
+        """
+        display_blocked = (
+            strategy.display_count(triple.user, triple.t)
+            >= self._instance.display_limit
+        )
+        group = (triple.user, triple.item)
+        if display_blocked:
+            heap.discard(triple)
+            group_keys.get(group, set()).discard(triple)
+            return
+        for candidate in list(group_keys.get(group, ())):
+            heap.discard(candidate)
+        group_keys.pop(group, None)
+
+    def _rescore(self, heap, flags, strategy: Strategy,
+                 candidates: List[Triple], freshness: int) -> None:
+        """Batch-score ``candidates`` and write priorities + flags back."""
+        values = self._model.marginal_revenue_batch(strategy, candidates)
+        for candidate, value in zip(candidates, values):
+            flags[candidate] = freshness
+            heap.update(candidate, value)
+
+    def _refresh_group(self, heap, flags, group_keys, strategy: Strategy,
+                       triple: Triple, freshness: int) -> None:
+        """Recompute every candidate of the popped triple's (user, item) heap.
+
+        One batched scoring pass refreshes the whole lower-level heap: all
+        its candidates share the (user, class) group whose change staled
+        them, so they share the "before" revenue the batch evaluates once.
+        """
+        group = (triple.user, triple.item)
+        stale = [
+            candidate for candidate in group_keys.get(group, ())
+            if candidate in heap
+        ]
+        self._rescore(heap, flags, strategy, stale, freshness)
+
+    def _eager_refresh(self, heap, flags, group_keys, strategy: Strategy,
+                       added: Triple) -> None:
+        """Without lazy forward, re-score every candidate ``added`` affects.
+
+        Affected candidates are those of the same user whose item belongs to
+        the same class as the added item -- batched into one scoring pass.
+        """
+        target_class = self._instance.class_of(added.item)
+        freshness = strategy.group_size(added.user, target_class)
+        affected: List[Triple] = []
+        for (user, item), keys in group_keys.items():
+            if user != added.user:
+                continue
+            if self._instance.class_of(item) != target_class:
+                continue
+            affected.extend(
+                candidate for candidate in keys if candidate in heap
+            )
+        self._rescore(heap, flags, strategy, affected, freshness)

@@ -54,6 +54,7 @@ __all__ = [
     "vectorized_memory_terms",
     "vectorized_group_probabilities",
     "vectorized_group_revenue",
+    "vectorized_extended_group_revenues",
 ]
 
 #: Recognised revenue-engine backends.
@@ -213,3 +214,83 @@ def vectorized_group_revenue(instance: RevMaxInstance,
     arrays = GroupArrays.from_group(instance, group)
     probabilities = vectorized_group_probabilities(arrays)
     return float(arrays.prices @ probabilities)
+
+
+def vectorized_extended_group_revenues(
+    instance: RevMaxInstance,
+    group: Sequence[Triple],
+    candidates: Sequence[Triple],
+) -> np.ndarray:
+    """Revenues of ``group + [c]`` for every candidate ``c``, in one pass.
+
+    This is the batched-scoring kernel behind
+    :meth:`repro.core.revenue.RevenueModel.marginal_revenue_batch`: all
+    candidates must share the base group's user and item class (each candidate
+    extends the *same* group independently; candidates do not interact with
+    each other).  Instead of launching one O(n^2) pairwise kernel per
+    candidate, a single (m, n) cross matrix of time differences yields, for
+    every candidate at once,
+
+    * the extra memory ``1 / (t_k - t_c)`` the candidate adds to each base
+      triple scheduled after it, and the candidate's own memory term;
+    * the extra competition factor ``1 - q_c`` the candidate applies to base
+      triples it competes with, and the candidate's own survival product.
+
+    Returns:
+        Shape ``(m,)`` array; entry ``j`` equals
+        ``group_revenue(instance, list(group) + [candidates[j]])``.
+    """
+    m = len(candidates)
+    if m == 0:
+        return np.zeros(0)
+    cand = GroupArrays.from_group(instance, candidates)
+    if not group:
+        # Singleton groups: no memory, no competition.
+        return cand.prices * cand.primitives
+
+    base = GroupArrays.from_group(instance, group)
+    base_memory = vectorized_memory_terms(base.times)
+    delta_bb = (base.times[:, None] - base.times[None, :]).astype(np.float64)
+    competes_bb = (delta_bb > 0.0) | (
+        (delta_bb == 0.0) & (base.items[:, None] != base.items[None, :])
+    )
+    base_survival = np.where(
+        competes_bb, 1.0 - base.primitives[None, :], 1.0
+    ).prod(axis=1)
+
+    # Cross matrix: delta[j, k] = t_cand_j - t_base_k.
+    delta = (cand.times[:, None] - base.times[None, :]).astype(np.float64)
+    same_time = delta == 0.0
+    different_item = cand.items[:, None] != base.items[None, :]
+
+    # --- contribution of the base triples under the extended group --------
+    # A base triple k gains memory 1/(t_k - t_c_j) when the candidate is
+    # strictly earlier, and a survival factor (1 - q_c_j) when the candidate
+    # competes with it (earlier, or same time with a different item).
+    extra_memory = np.divide(
+        -1.0, delta, out=np.zeros_like(delta), where=delta < 0.0
+    )
+    saturation = np.power(base.betas[None, :], base_memory[None, :] + extra_memory)
+    cand_competes = (delta < 0.0) | (same_time & different_item)
+    extra_survival = np.where(cand_competes, 1.0 - cand.primitives[:, None], 1.0)
+    base_probabilities = (
+        base.primitives[None, :] * saturation
+        * base_survival[None, :] * extra_survival
+    )
+    base_probabilities = np.where(
+        base.primitives[None, :] > 0.0, base_probabilities, 0.0
+    )
+    base_contribution = base_probabilities @ base.prices
+
+    # --- contribution of the candidate itself ----------------------------
+    cand_memory = _memory_from_deltas(delta, delta > 0.0)
+    base_competes = (delta > 0.0) | (same_time & different_item)
+    cand_survival = np.where(
+        base_competes, 1.0 - base.primitives[None, :], 1.0
+    ).prod(axis=1)
+    cand_probabilities = (
+        cand.primitives * np.power(cand.betas, cand_memory) * cand_survival
+    )
+    cand_probabilities = np.where(cand.primitives > 0.0, cand_probabilities, 0.0)
+
+    return base_contribution + cand.prices * cand_probabilities

@@ -22,7 +22,7 @@ paper's dataset (see DESIGN.md §6, "Scale-down policy").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

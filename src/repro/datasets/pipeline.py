@@ -20,7 +20,7 @@ This is the reproduction of the §6.1 preparation steps:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 

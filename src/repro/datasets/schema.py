@@ -16,7 +16,7 @@ lives in :mod:`repro.datasets.pipeline`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 

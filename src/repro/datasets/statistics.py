@@ -10,7 +10,7 @@ quantities for a reproduction dataset and its derived REVMAX instance, and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

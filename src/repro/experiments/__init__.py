@@ -1,11 +1,16 @@
 """Experiment harness, per-figure regeneration functions and reporting."""
 
+# NOTE: repro.experiments.parallel is deliberately NOT imported here --
+# the serial paths lazy-import it on first parallel use so that plain
+# harness imports never pay for the multiprocessing machinery.
 from repro.experiments.harness import (
     SCALES,
     ExperimentRecord,
+    experiment_records,
     predicted_ratings_map,
     prepare_dataset,
     run_algorithms,
+    set_dataset_cache_limit,
     standard_algorithms,
 )
 from repro.experiments.figures import (
@@ -45,9 +50,11 @@ __all__ = [
     "format_histogram",
     "format_series",
     "format_table",
+    "experiment_records",
     "predicted_ratings_map",
     "prepare_dataset",
     "run_algorithms",
+    "set_dataset_cache_limit",
     "standard_algorithms",
     "table1_dataset_statistics",
     "table2_running_times",

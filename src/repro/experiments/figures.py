@@ -33,21 +33,23 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.algorithms.baselines import TopRatingBaseline, TopRevenueBaseline
 from repro.algorithms.exact_single_step import SingleStepExactSolver
-from repro.algorithms.global_greedy import GlobalGreedy, GlobalGreedyNoSaturation
+from repro.algorithms.global_greedy import GlobalGreedy
 from repro.algorithms.incomplete_prices import SubHorizonWrapper
 from repro.algorithms.local_greedy import RandomizedLocalGreedy, SequentialLocalGreedy
 from repro.algorithms.local_search import LocalSearchApproximation
 from repro.core.entities import ItemCatalog
 from repro.core.problem import RevMaxInstance
 from repro.core.random_prices import PriceDistribution, TaylorRevenueModel
-from repro.core.revenue import RevenueModel
 from repro.datasets.capacities import sample_betas, sample_capacities
 from repro.datasets.pipeline import PipelineResult
 from repro.datasets.statistics import dataset_statistics, format_table1
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_instance
-from repro.experiments.harness import predicted_ratings_map, standard_algorithms
+from repro.experiments.harness import (
+    predicted_ratings_map,
+    run_algorithms,
+    standard_algorithms,
+)
 from repro.experiments.reporting import (
     format_grouped_bars,
     format_histogram,
@@ -123,12 +125,12 @@ def _algorithm_suite(pipeline: PipelineResult, rl_permutations: int, seed: int):
 
 
 def _revenues_for_setting(pipeline: PipelineResult, instance: RevMaxInstance,
-                          rl_permutations: int, seed: int) -> Dict[str, float]:
-    revenues: Dict[str, float] = {}
-    for algorithm in _algorithm_suite(pipeline, rl_permutations, seed):
-        result = algorithm.run(instance)
-        revenues[algorithm.name] = result.revenue
-    return revenues
+                          rl_permutations: int, seed: int,
+                          jobs: Optional[int] = None) -> Dict[str, float]:
+    results = run_algorithms(
+        instance, _algorithm_suite(pipeline, rl_permutations, seed), jobs=jobs
+    )
+    return {name: result.revenue for name, result in results.items()}
 
 
 # ----------------------------------------------------------------------
@@ -161,8 +163,13 @@ def table2_running_times(
     beta_value: Optional[float] = None,
     rl_permutations: int = 6,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
-    """Reproduce Table 2 (running time of GG / RLG / SLG / TopRE / TopRA)."""
+    """Reproduce Table 2 (running time of GG / RLG / SLG / TopRE / TopRA).
+
+    With ``jobs`` the suite runs across worker processes; each reported time
+    is still that solver's own wall-clock inside its worker.
+    """
     data: Dict[str, Dict[str, float]] = {}
     for name, pipeline in pipelines.items():
         instance = _configured_instance(
@@ -172,11 +179,13 @@ def table2_running_times(
             beta_value=beta_value,
             seed=seed,
         )
-        times: Dict[str, float] = {}
-        for algorithm in _algorithm_suite(pipeline, rl_permutations, seed):
-            result = algorithm.run(instance)
-            times[algorithm.name] = result.runtime_seconds
-        data[name] = times
+        results = run_algorithms(
+            instance, _algorithm_suite(pipeline, rl_permutations, seed), jobs=jobs
+        )
+        data[name] = {
+            algorithm: result.runtime_seconds
+            for algorithm, result in results.items()
+        }
     text = format_grouped_bars(data, group_label="dataset", value_format="{:.3f}s")
     return FigureResult(
         name="Table 2",
@@ -195,6 +204,7 @@ def figure1_revenue_by_capacity_distribution(
     singleton_classes: bool = False,
     rl_permutations: int = 6,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     """Figure 1: expected revenue with beta ~ U[0,1], varying capacity law."""
     data: Dict[str, Dict[str, Dict[str, float]]] = {}
@@ -209,7 +219,7 @@ def figure1_revenue_by_capacity_distribution(
                 seed=seed,
             )
             per_distribution[distribution] = _revenues_for_setting(
-                pipeline, instance, rl_permutations, seed
+                pipeline, instance, rl_permutations, seed, jobs=jobs
             )
         data[name] = per_distribution
     blocks = []
@@ -232,6 +242,7 @@ def figure2_revenue_by_saturation(
     singleton_classes: bool = False,
     rl_permutations: int = 6,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     """Figure 2: expected revenue at fixed beta in {0.1, 0.5, 0.9}."""
     data: Dict[str, Dict[str, Dict[str, float]]] = {}
@@ -248,7 +259,7 @@ def figure2_revenue_by_saturation(
                     seed=seed,
                 )
                 per_beta[f"beta={beta}"] = _revenues_for_setting(
-                    pipeline, instance, rl_permutations, seed
+                    pipeline, instance, rl_permutations, seed, jobs=jobs
                 )
             data[f"{name}/{distribution}"] = per_beta
     blocks = []
@@ -271,6 +282,7 @@ def figure3_revenue_by_saturation_singleton(
     capacity_distributions: Sequence[str] = ("normal", "exponential"),
     rl_permutations: int = 6,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     """Figure 3: same as Figure 2 but with every item in its own class."""
     return figure2_revenue_by_saturation(
@@ -280,6 +292,7 @@ def figure3_revenue_by_saturation_singleton(
         singleton_classes=True,
         rl_permutations=rl_permutations,
         seed=seed,
+        jobs=jobs,
     )
 
 

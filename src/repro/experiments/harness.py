@@ -14,7 +14,9 @@ capacity distributions and class settings.  This module centralises
 
 from __future__ import annotations
 
-import time
+import os
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -31,9 +33,11 @@ from repro.recsys.mf import MFConfig
 __all__ = [
     "SCALES",
     "prepare_dataset",
+    "set_dataset_cache_limit",
     "predicted_ratings_map",
     "standard_algorithms",
     "run_algorithms",
+    "experiment_records",
     "ExperimentRecord",
 ]
 
@@ -68,7 +72,34 @@ SCALES: Dict[str, _ScalePreset] = {
     ),
 }
 
-_DATASET_CACHE: Dict[Tuple[str, str, int], PipelineResult] = {}
+#: Bounded LRU of prepared pipelines.  The key includes the process id: a
+#: forked worker inherits a *copy* of the parent's entries, but pid-keying
+#: guarantees it never serves an object the parent (or a sibling) also holds
+#: a reference to -- ``PipelineResult`` is mutable, and the one-owner rule
+#: makes concurrent harness use safe without deep-copying on every hit.
+_DATASET_CACHE: "OrderedDict[Tuple[str, str, int, int], PipelineResult]" = (
+    OrderedDict()
+)
+_DATASET_CACHE_LOCK = threading.Lock()
+_DATASET_CACHE_LIMIT = int(os.environ.get("REPRO_DATASET_CACHE_SIZE", "8"))
+
+
+def set_dataset_cache_limit(limit: int) -> int:
+    """Bound the dataset cache to ``limit`` entries (0 disables caching).
+
+    The default is 8 entries, overridable process-wide through the
+    ``REPRO_DATASET_CACHE_SIZE`` environment variable.  Returns the previous
+    limit so tests can restore it.
+    """
+    global _DATASET_CACHE_LIMIT
+    if limit < 0:
+        raise ValueError("cache limit must be non-negative")
+    with _DATASET_CACHE_LOCK:
+        previous = _DATASET_CACHE_LIMIT
+        _DATASET_CACHE_LIMIT = int(limit)
+        while len(_DATASET_CACHE) > _DATASET_CACHE_LIMIT:
+            _DATASET_CACHE.popitem(last=False)
+    return previous
 
 
 def prepare_dataset(name: str, scale: str = "small", seed: int = 0,
@@ -86,9 +117,13 @@ def prepare_dataset(name: str, scale: str = "small", seed: int = 0,
     """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; expected one of {sorted(SCALES)}")
-    key = (name, scale, seed)
-    if use_cache and key in _DATASET_CACHE:
-        return _DATASET_CACHE[key]
+    key = (name, scale, seed, os.getpid())
+    if use_cache:
+        with _DATASET_CACHE_LOCK:
+            cached = _DATASET_CACHE.get(key)
+            if cached is not None:
+                _DATASET_CACHE.move_to_end(key)
+                return cached
     preset = SCALES[scale]
     if name == "amazon":
         dataset = generate_amazon_like(AmazonLikeConfig(
@@ -111,7 +146,11 @@ def prepare_dataset(name: str, scale: str = "small", seed: int = 0,
     )
     result = run_pipeline(dataset, config)
     if use_cache:
-        _DATASET_CACHE[key] = result
+        with _DATASET_CACHE_LOCK:
+            _DATASET_CACHE[key] = result
+            _DATASET_CACHE.move_to_end(key)
+            while len(_DATASET_CACHE) > _DATASET_CACHE_LIMIT:
+                _DATASET_CACHE.popitem(last=False)
     return result
 
 
@@ -130,6 +169,7 @@ def standard_algorithms(
     include: Optional[Sequence[str]] = None,
     seed: int = 0,
     backend: Optional[str] = None,
+    rl_jobs: Optional[int] = None,
 ) -> List[RevMaxAlgorithm]:
     """Build the six-algorithm suite the paper's figures compare.
 
@@ -142,12 +182,16 @@ def standard_algorithms(
         backend: revenue-engine backend forwarded to every solver ("numpy" /
             "python"; ``None`` uses the process default).  Handy for
             benchmarking the engines against each other on identical suites.
+        rl_jobs: worker processes for RL-Greedy's permutation fan-out
+            (``None``: serial).  Leave unset when the whole suite already
+            runs under ``run_algorithms(jobs=...)`` -- nesting pools wins
+            nothing.
     """
     suite: Dict[str, RevMaxAlgorithm] = {
         "GG": GlobalGreedy(backend=backend),
         "GG-No": GlobalGreedyNoSaturation(backend=backend),
         "RLG": RandomizedLocalGreedy(num_permutations=rl_permutations, seed=seed,
-                                     backend=backend),
+                                     backend=backend, jobs=rl_jobs),
         "SLG": SequentialLocalGreedy(backend=backend),
         "TopRev": TopRevenueBaseline(),
         "TopRat": TopRatingBaseline(predicted_ratings),
@@ -175,11 +219,51 @@ class ExperimentRecord:
 def run_algorithms(instance: RevMaxInstance,
                    algorithms: Iterable[RevMaxAlgorithm],
                    settings: Optional[Dict[str, object]] = None,
+                   jobs: Optional[int] = None,
                    ) -> Dict[str, AlgorithmResult]:
-    """Run every algorithm on the instance and return results keyed by name."""
+    """Run every algorithm on the instance and return results keyed by name.
+
+    Args:
+        instance: the REVMAX instance to solve.
+        algorithms: the solvers to run.
+        settings: optional experiment settings merged into every result's
+            extras (capacity distribution, beta, ... -- figure bookkeeping).
+        jobs: worker processes (``None``/1: serial in-process; ``0``: one
+            per core).  Parallel runs return bit-identical revenues and
+            strategies; see :mod:`repro.experiments.parallel`.
+    """
+    if jobs is not None and jobs != 1:
+        # Imported lazily: the parallel runner is optional infrastructure
+        # and pulls in multiprocessing machinery the serial path never needs.
+        from repro.experiments.parallel import run_algorithms_parallel
+
+        return run_algorithms_parallel(instance, algorithms,
+                                       settings=settings, jobs=jobs)
     results: Dict[str, AlgorithmResult] = {}
     for algorithm in algorithms:
         results[algorithm.name] = algorithm.run(instance)
         if settings:
             results[algorithm.name].extras.update(settings)
     return results
+
+
+def experiment_records(results: Mapping[str, AlgorithmResult],
+                       settings: Optional[Dict[str, object]] = None,
+                       ) -> List[ExperimentRecord]:
+    """Flatten a ``run_algorithms`` result map into :class:`ExperimentRecord` rows.
+
+    Serial and parallel runs flow through the same conversion, so a
+    ``jobs=4`` suite merges into records identical (runtimes aside) to a
+    ``jobs=1`` suite.
+    """
+    return [
+        ExperimentRecord(
+            instance_name=result.instance_name,
+            algorithm=result.algorithm,
+            revenue=result.revenue,
+            runtime_seconds=result.runtime_seconds,
+            strategy_size=result.strategy_size,
+            settings=dict(settings or {}),
+        )
+        for result in results.values()
+    ]

@@ -8,7 +8,7 @@ output and EXPERIMENTS.md stay human-readable without a plotting dependency.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 __all__ = ["format_table", "format_grouped_bars", "format_histogram", "format_series"]
 

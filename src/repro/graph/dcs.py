@@ -16,7 +16,7 @@ another edge would not increase the subgraph's weight.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, Tuple
 
 from repro.graph.flow import MinCostFlow
 

@@ -19,7 +19,7 @@ first) so that all algorithms built on top of the heap are deterministic.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterator, List, Optional, Tuple
+from typing import Hashable, Iterator, List, Optional, Tuple
 
 __all__ = ["AddressableMaxHeap"]
 

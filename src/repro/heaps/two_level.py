@@ -19,7 +19,7 @@ entries within a group are arbitrary hashable keys.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Tuple
 
 from repro.heaps.binary_heap import AddressableMaxHeap
 

@@ -17,7 +17,7 @@ carries the REVMAX-specific construction of Lemma 2.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import FrozenSet, Hashable, Iterable, List, Set
+from typing import FrozenSet, Hashable, Iterable, Set
 
 __all__ = ["Matroid", "UniformMatroid", "FreeMatroid"]
 

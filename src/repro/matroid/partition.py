@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Optional
 
-from repro.core.entities import Triple
 from repro.core.problem import RevMaxInstance
 from repro.matroid.matroid import Matroid
 

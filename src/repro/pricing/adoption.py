@@ -20,7 +20,7 @@ competition and saturation, which the dynamic model of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ sampling) so the Epinions-like pipeline can run without SciPy.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -26,6 +26,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve", "--algorithm", "magic"])
 
+    def test_backend_and_jobs_on_every_subcommand(self):
+        parser = build_parser()
+        for argv in (["solve"], ["compare"], ["exhibit", "table1"]):
+            args = parser.parse_args(argv + ["--backend", "python",
+                                             "--jobs", "4"])
+            assert args.backend == "python"
+            assert args.jobs == 4
+            defaults = parser.parse_args(argv)
+            assert defaults.backend is None
+            assert defaults.jobs is None
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--backend", "fortran"])
+
     def test_invalid_exhibit_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["exhibit", "figure99"])

@@ -7,7 +7,6 @@ paper reports (full sweeps live in ``benchmarks/``).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.datasets.synthetic import SyntheticConfig

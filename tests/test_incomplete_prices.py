@@ -8,7 +8,6 @@ from repro.algorithms.global_greedy import GlobalGreedy
 from repro.algorithms.incomplete_prices import SubHorizonWrapper, split_horizon
 from repro.algorithms.local_greedy import RandomizedLocalGreedy, SequentialLocalGreedy
 from repro.core.constraints import ConstraintChecker
-from repro.core.revenue import RevenueModel
 
 
 class TestSplitHorizon:

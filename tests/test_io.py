@@ -12,7 +12,6 @@ from repro.algorithms.global_greedy import GlobalGreedy
 from repro.core.revenue import RevenueModel
 from repro.core.strategy import Strategy
 
-from tests.conftest import build_random_instance
 
 
 class TestInstanceRoundTrip:

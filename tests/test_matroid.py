@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.entities import Triple
 from repro.matroid.matroid import FreeMatroid, UniformMatroid
 from repro.matroid.partition import PartitionMatroid, display_constraint_matroid
 

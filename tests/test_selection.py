@@ -1,0 +1,310 @@
+"""Tests for the shared selection engine and the batched scoring path.
+
+Two equivalence ladders anchor the refactor:
+
+* ``marginal_revenue_batch`` must agree with scalar ``marginal_revenue``
+  to 1e-9 on random instances, on both backends, with and without the
+  group cache;
+* every solver built on :class:`LazyGreedySelector` must reproduce, triple
+  for triple, both a transparent reference greedy (argmax re-scoring every
+  candidate at every step -- no heaps, no laziness) and its own output
+  under the other backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.global_greedy import GlobalGreedy, GlobalGreedyNoSaturation
+from repro.algorithms.local_greedy import RandomizedLocalGreedy, SequentialLocalGreedy
+from repro.algorithms.local_search import LocalSearchApproximation
+from repro.core.constraints import ConstraintChecker
+from repro.core.revenue import RevenueModel
+from repro.core.selection import SEED_ISOLATED, SEED_MARGINAL, LazyGreedySelector
+from repro.core.strategy import Strategy
+
+from tests.conftest import build_random_instance
+
+
+def _random_strategy(instance, rng, size):
+    """A valid random strategy of roughly ``size`` triples."""
+    checker = ConstraintChecker(instance)
+    strategy = Strategy(instance.catalog)
+    candidates = sorted(instance.candidate_triples())
+    rng.shuffle(candidates)
+    for triple in candidates:
+        if len(strategy) >= size:
+            break
+        if checker.can_add(strategy, triple):
+            strategy.add(triple)
+    return strategy
+
+
+class TestMarginalRevenueBatch:
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    @pytest.mark.parametrize("cache", [True, False])
+    def test_matches_scalar_on_random_instances(self, backend, cache):
+        for seed in range(8):
+            instance = build_random_instance(
+                num_users=4, num_items=6, num_classes=2, horizon=4,
+                display_limit=3, capacity=5, density=0.8, seed=seed,
+            )
+            rng = np.random.default_rng(seed)
+            strategy = _random_strategy(instance, rng, size=6)
+            candidates = sorted(instance.candidate_triples())
+            scalar_model = RevenueModel(instance, backend=backend, cache=cache)
+            batch_model = RevenueModel(instance, backend=backend, cache=cache)
+            scalar = [
+                scalar_model.marginal_revenue(strategy, z) for z in candidates
+            ]
+            batch = batch_model.marginal_revenue_batch(strategy, candidates)
+            assert batch == pytest.approx(scalar, rel=1e-9, abs=1e-12)
+
+    def test_in_strategy_triples_score_zero(self, small_instance):
+        model = RevenueModel(small_instance)
+        candidates = sorted(small_instance.candidate_triples())
+        strategy = Strategy(small_instance.catalog, candidates[:3])
+        values = model.marginal_revenue_batch(strategy, candidates[:5])
+        assert values[:3] == [0.0, 0.0, 0.0]
+
+    def test_batch_counts_one_lookup_per_scored_candidate(self, small_instance):
+        model = RevenueModel(small_instance)
+        candidates = sorted(small_instance.candidate_triples())
+        strategy = Strategy(small_instance.catalog, candidates[:2])
+        model.reset_counters()
+        model.marginal_revenue_batch(strategy, candidates)
+        # The two already-selected triples are answered without scoring.
+        assert model.lookups == len(candidates) - 2
+
+    def test_evaluations_count_only_computed_rows(self, small_instance):
+        model = RevenueModel(small_instance)
+        candidates = sorted(small_instance.candidate_triples())
+        strategy = Strategy(small_instance.catalog)
+        first = model.marginal_revenue_batch(strategy, candidates)
+        computed = model.evaluations
+        assert computed > 0
+        # A second identical batch is answered entirely from the cache.
+        second = model.marginal_revenue_batch(strategy, candidates)
+        assert second == first
+        assert model.evaluations == computed
+        assert model.cache_hits >= len(candidates)
+        # Lookups still count every requested candidate of both batches.
+        assert model.lookups == 2 * len(candidates)
+
+    def test_scalar_lookup_semantics_unchanged(self, small_instance):
+        """A scalar marginal is still two lookups (before + after group)."""
+        model = RevenueModel(small_instance)
+        candidate = sorted(small_instance.candidate_triples())[0]
+        strategy = Strategy(small_instance.catalog)
+        model.reset_counters()
+        model.marginal_revenue(strategy, candidate)
+        # Empty "before" group short-circuits, so exactly one lookup here.
+        assert model.lookups == 1
+        strategy.add(candidate)
+        other = next(
+            z for z in sorted(small_instance.candidate_triples())
+            if z != candidate
+        )
+        model.reset_counters()
+        model.marginal_revenue(strategy, other)
+        expected = 2 if strategy.group_of_triple(other) else 1
+        assert model.lookups == expected
+
+
+def _reference_global_greedy(instance, ignore_saturation=False):
+    """Transparent G-Greedy: re-score every candidate at every step."""
+    selection_instance = (
+        instance.with_betas(1.0) if ignore_saturation else instance
+    )
+    model = RevenueModel(selection_instance)
+    checker = ConstraintChecker(instance)
+    strategy = Strategy(instance.catalog)
+    candidates = list(instance.candidate_triples())
+    while True:
+        best, best_value = None, 0.0
+        for triple in candidates:
+            if triple in strategy or not checker.can_add(strategy, triple):
+                continue
+            value = model.marginal_revenue(strategy, triple)
+            if value > best_value:
+                best, best_value = triple, value
+        if best is None:
+            return strategy
+        strategy.add(best)
+
+
+def _reference_local_greedy(instance, order):
+    """Transparent SL-Greedy: per-step argmax re-scoring every candidate."""
+    model = RevenueModel(instance)
+    checker = ConstraintChecker(instance)
+    strategy = Strategy(instance.catalog)
+    for time_step in order:
+        step_candidates = [
+            z for z in instance.candidate_triples() if z.t == time_step
+        ]
+        while True:
+            best, best_value = None, 0.0
+            for triple in step_candidates:
+                if triple in strategy or not checker.can_add(strategy, triple):
+                    continue
+                value = model.marginal_revenue(strategy, triple)
+                if value > best_value:
+                    best, best_value = triple, value
+            if best is None:
+                break
+            strategy.add(best)
+    return strategy
+
+
+class TestSolverEquivalence:
+    """The refactored solvers against the reference greedy and across backends."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_global_greedy_matches_reference(self, seed):
+        instance = build_random_instance(
+            num_users=5, num_items=5, num_classes=2, horizon=3,
+            display_limit=2, capacity=3, beta=0.5, density=0.8, seed=seed,
+        )
+        reference = _reference_global_greedy(instance)
+        for kwargs in (
+            {},
+            {"use_lazy_forward": False},
+            {"use_two_level_heap": False},
+            {"use_lazy_forward": False, "use_two_level_heap": False},
+        ):
+            strategy = GlobalGreedy(**kwargs).build_strategy(instance)
+            assert strategy.triples() == reference.triples(), kwargs
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_local_greedy_matches_reference(self, seed):
+        instance = build_random_instance(
+            num_users=5, num_items=5, num_classes=2, horizon=3,
+            display_limit=2, capacity=3, beta=0.5, density=0.8, seed=seed,
+        )
+        order = list(range(instance.horizon))
+        reference = _reference_local_greedy(instance, order)
+        strategy = SequentialLocalGreedy().build_strategy(instance)
+        assert strategy.triples() == reference.triples()
+
+    def test_global_no_matches_reference(self, small_instance):
+        reference = _reference_global_greedy(
+            small_instance, ignore_saturation=True
+        )
+        strategy = GlobalGreedyNoSaturation().build_strategy(small_instance)
+        assert strategy.triples() == reference.triples()
+
+    @pytest.mark.parametrize("algorithm_factory", [
+        lambda backend: GlobalGreedy(backend=backend),
+        lambda backend: GlobalGreedyNoSaturation(backend=backend),
+        lambda backend: SequentialLocalGreedy(backend=backend),
+        lambda backend: RandomizedLocalGreedy(
+            num_permutations=4, seed=0, backend=backend
+        ),
+    ])
+    def test_backends_produce_identical_strategies(
+        self, tiny_amazon_pipeline, algorithm_factory
+    ):
+        instance = tiny_amazon_pipeline.instance
+        numpy_strategy = algorithm_factory("numpy").build_strategy(instance)
+        python_strategy = algorithm_factory("python").build_strategy(instance)
+        assert numpy_strategy.triples() == python_strategy.triples()
+
+
+class TestLazyGreedySelector:
+    def test_rejects_unknown_seeding_rule(self, small_instance):
+        model = RevenueModel(small_instance)
+        with pytest.raises(ValueError):
+            LazyGreedySelector(
+                small_instance, model, ConstraintChecker(small_instance),
+                seed_priorities="optimistic",
+            )
+
+    def test_max_selections_caps_strategy_size(self, small_instance):
+        model = RevenueModel(small_instance)
+        strategy = Strategy(small_instance.catalog)
+        selector = LazyGreedySelector(
+            small_instance, model, ConstraintChecker(small_instance),
+            seed_priorities=SEED_MARGINAL, max_selections=3,
+        )
+        admitted = selector.select(
+            strategy, small_instance.candidate_triples()
+        )
+        assert admitted == 3
+        assert len(strategy) == 3
+
+    def test_on_admit_hook_sees_every_admission(self, small_instance):
+        model = RevenueModel(small_instance)
+        strategy = Strategy(small_instance.catalog)
+        admissions = []
+        selector = LazyGreedySelector(
+            small_instance, model, ConstraintChecker(small_instance),
+            seed_priorities=SEED_ISOLATED,
+            on_admit=lambda triple, gain: admissions.append((triple, gain)),
+        )
+        growth_curve = []
+        selector.select(strategy, small_instance.candidate_triples(),
+                        growth_curve=growth_curve)
+        assert len(admissions) == len(strategy)
+        assert all(gain > 0.0 for _, gain in admissions)
+        assert [round(g, 12) for _, g in admissions] == [
+            round(b - a, 12) for (_, a), (_, b) in
+            zip([(0, 0.0)] + growth_curve[:-1], growth_curve)
+        ]
+
+    def test_growth_curve_continues_across_calls(self, small_instance):
+        """SL-Greedy's per-step calls accumulate one cumulative curve."""
+        model = RevenueModel(small_instance)
+        checker = ConstraintChecker(small_instance)
+        strategy = Strategy(small_instance.catalog)
+        selector = LazyGreedySelector(
+            small_instance, model, checker, seed_priorities=SEED_MARGINAL,
+            use_two_level_heap=False,
+        )
+        curve = []
+        for t in range(small_instance.horizon):
+            selector.select(
+                strategy,
+                (z for z in small_instance.candidate_triples() if z.t == t),
+                growth_curve=curve,
+            )
+        sizes = [size for size, _ in curve]
+        revenues = [revenue for _, revenue in curve]
+        assert sizes == list(range(1, len(strategy) + 1))
+        assert revenues == sorted(revenues)
+        assert revenues[-1] == pytest.approx(
+            RevenueModel(small_instance).revenue(strategy), rel=1e-6
+        )
+
+    def test_selection_skips_triples_already_in_strategy(self, small_instance):
+        model = RevenueModel(small_instance)
+        candidates = sorted(small_instance.candidate_triples())
+        strategy = Strategy(small_instance.catalog, candidates[:2])
+        selector = LazyGreedySelector(
+            small_instance, model, ConstraintChecker(small_instance),
+            seed_priorities=SEED_MARGINAL,
+        )
+        selector.select(strategy, candidates)
+        # No duplicate admissions: Strategy.add would have raised otherwise.
+        assert set(candidates[:2]) <= strategy.triples()
+
+
+class TestWarmStartLocalSearch:
+    def test_warm_start_runs_and_is_recorded(self):
+        instance = build_random_instance(
+            num_users=3, num_items=3, num_classes=2, horizon=2,
+            display_limit=1, capacity=2, beta=0.5, seed=5,
+        )
+        cold = LocalSearchApproximation(epsilon=0.5)
+        warm = LocalSearchApproximation(epsilon=0.5, warm_start=True)
+        cold_result = cold.run(instance)
+        warm_result = warm.run(instance)
+        assert cold.last_extras["warm_start"] is False
+        assert warm.last_extras["warm_start"] is True
+        # Both are approximate local optima of the same objective; the warm
+        # start must stay in the same quality regime as the textbook start.
+        assert warm_result.revenue >= 0.0
+        assert warm.last_extras["objective_value"] >= 0.0
+        # Display feasibility is the one hard constraint of R-REVMAX.
+        checker = ConstraintChecker(instance, enforce_capacity=False)
+        assert checker.is_valid(warm_result.strategy)

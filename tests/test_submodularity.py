@@ -28,10 +28,8 @@ from __future__ import annotations
 import itertools
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.entities import Triple
 from repro.core.revenue import RevenueModel
 from repro.core.strategy import Strategy
 from repro.matroid.submodular import (
