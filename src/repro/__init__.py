@@ -18,6 +18,7 @@ Typical usage::
 
 from repro.core import (
     AdoptionTable,
+    CompiledInstance,
     ConstraintChecker,
     EffectiveRevenueModel,
     ItemCatalog,
@@ -44,6 +45,7 @@ from repro.datasets import (
     build_instance,
     generate_amazon_like,
     generate_epinions_like,
+    generate_synthetic_columnar,
     generate_synthetic_instance,
     run_pipeline,
 )
@@ -57,6 +59,7 @@ __all__ = [
     "AdoptionSimulator",
     "AdoptionTable",
     "AlgorithmResult",
+    "CompiledInstance",
     "ConstraintChecker",
     "EffectiveRevenueModel",
     "GlobalGreedy",
@@ -79,6 +82,7 @@ __all__ = [
     "build_instance",
     "generate_amazon_like",
     "generate_epinions_like",
+    "generate_synthetic_columnar",
     "generate_synthetic_instance",
     "get_default_backend",
     "prepare_dataset",

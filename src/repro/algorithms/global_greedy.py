@@ -48,6 +48,10 @@ class GlobalGreedy(RevMaxAlgorithm):
             (the GlobalNo baseline).
         backend: revenue-engine backend ("numpy" / "python"); ``None`` uses
             the process default.
+        use_compiled: seed the frontier from the instance's columnar
+            compilation (default).  ``False`` forces the per-triple seeding
+            loop (the pre-compilation path, kept for the scalability
+            benchmarks).
     """
 
     name = "G-Greedy"
@@ -55,10 +59,12 @@ class GlobalGreedy(RevMaxAlgorithm):
     def __init__(self, use_lazy_forward: bool = True,
                  use_two_level_heap: bool = True,
                  ignore_saturation: bool = False,
-                 backend: Optional[str] = None) -> None:
+                 backend: Optional[str] = None,
+                 use_compiled: Optional[bool] = None) -> None:
         self._use_lazy_forward = use_lazy_forward
         self._use_two_level_heap = use_two_level_heap
         self._ignore_saturation = ignore_saturation
+        self._use_compiled = use_compiled
         self.backend = backend
         if ignore_saturation:
             self.name = "GlobalNo"
@@ -80,11 +86,16 @@ class GlobalGreedy(RevMaxAlgorithm):
                 its triples count towards constraints and interact with new
                 candidates through competition and saturation.
         """
+        # True model first: compiling the base instance lets the GlobalNo
+        # copy below transplant the cached CSR tensors instead of re-walking
+        # the adoption table (the candidate table is beta-independent).
+        true_model = RevenueModel(instance, backend=self.backend,
+                                  compiled=self._use_compiled)
         selection_instance = (
             instance.with_betas(1.0) if self._ignore_saturation else instance
         )
-        selection_model = RevenueModel(selection_instance, backend=self.backend)
-        true_model = RevenueModel(instance, backend=self.backend)
+        selection_model = RevenueModel(selection_instance, backend=self.backend,
+                                       compiled=self._use_compiled)
         allowed = set(allowed_times) if allowed_times is not None else None
 
         strategy = (
@@ -100,13 +111,14 @@ class GlobalGreedy(RevMaxAlgorithm):
             use_two_level_heap=self._use_two_level_heap,
             seed_priorities=SEED_ISOLATED,
             max_selections=self._max_selections(instance, allowed) + len(strategy),
-        )
-        candidates = (
-            triple for triple in instance.candidate_triples()
-            if allowed is None or triple.t in allowed
+            use_compiled=self._use_compiled,
         )
         growth_curve: List[Tuple[int, float]] = []
-        selector.select(strategy, candidates, growth_curve=growth_curve,
+        # candidates=None is the whole ground set; the selector seeds from
+        # the columnar compilation when the configuration allows it and
+        # falls back to iterating instance.candidate_triples() otherwise.
+        selector.select(strategy, None, allowed_times=allowed,
+                        growth_curve=growth_curve,
                         initial_revenue=initial_revenue)
 
         self.last_growth_curve = growth_curve

@@ -14,6 +14,10 @@ writing Python:
 ``python -m repro.cli exhibit table1|table2|figure1|...``
     Regenerate one table or figure of the paper's evaluation and print its
     data (the same functions the benchmarks call).
+
+``python -m repro.cli info --dataset amazon`` / ``info --load plan.npz``
+    Print instance statistics (users, items, classes, candidate pairs,
+    horizon) and the memory footprint of the compiled columnar tensors.
 """
 
 from __future__ import annotations
@@ -131,6 +135,17 @@ def build_parser() -> argparse.ArgumentParser:
                   f"({', '.join(_SUITE_EXHIBITS)}); ignored by the rest",
     )
 
+    info = subparsers.add_parser(
+        "info", help="print instance statistics and compiled-tensor footprint"
+    )
+    info.add_argument("--dataset", choices=("amazon", "epinions"),
+                      default="amazon")
+    info.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    info.add_argument("--seed", type=int, default=0)
+    info.add_argument("--load", metavar="PATH", default=None,
+                      help="inspect a saved instance instead of preparing a "
+                           "dataset (.json or .npz)")
+
     return parser
 
 
@@ -141,7 +156,10 @@ def _command_solve(args: argparse.Namespace) -> int:
     result = algorithm.run(pipeline.instance)
     print(result.summary())
     if args.save_instance:
-        repro_io.save_instance(pipeline.instance, args.save_instance)
+        if str(args.save_instance).endswith(".npz"):
+            repro_io.save_instance_npz(pipeline.instance, args.save_instance)
+        else:
+            repro_io.save_instance(pipeline.instance, args.save_instance)
         print(f"instance written to {args.save_instance}")
     if args.save_result:
         repro_io.save_result(result, args.save_result)
@@ -216,6 +234,54 @@ def _command_exhibit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_bytes(count: int) -> str:
+    """Human-readable byte count (binary units)."""
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or unit == "GiB":
+            return f"{size:,.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    return f"{int(count)} B"  # pragma: no cover - loop always returns
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    if args.load is not None:
+        if str(args.load).endswith(".npz"):
+            instance = repro_io.load_instance_npz(args.load)
+        else:
+            instance = repro_io.load_instance(args.load)
+    else:
+        instance = prepare_dataset(
+            args.dataset, scale=args.scale, seed=args.seed
+        ).instance
+    compiled = instance.compiled()
+    sizes = instance.catalog.class_sizes().values()
+    rows = [
+        ["instance", instance.name],
+        ["users", f"{instance.num_users:,}"],
+        ["items", f"{instance.num_items:,}"],
+        ["item classes", f"{instance.catalog.num_classes:,} "
+                         f"(largest {max(sizes):,})"],
+        ["horizon", f"{instance.horizon:,}"],
+        ["display limit", f"{instance.display_limit:,}"],
+        ["candidate (user, item) pairs", f"{compiled.num_pairs:,}"],
+        ["candidate triples (positive q)",
+         f"{compiled.num_candidate_triples():,}"],
+        ["(user, class) groups", f"{compiled.num_groups:,}"],
+    ]
+    print(format_table(["statistic", "value"], rows))
+    footprint = compiled.memory_footprint()
+    total = footprint.pop("total")
+    print("\ncompiled tensor footprint:")
+    tensor_rows = [
+        [name, _format_bytes(size)]
+        for name, size in sorted(footprint.items(), key=lambda kv: -kv[1])
+    ]
+    tensor_rows.append(["total", _format_bytes(total)])
+    print(format_table(["tensor", "bytes"], tensor_rows))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -226,6 +292,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_compare(args)
     if args.command == "exhibit":
         return _command_exhibit(args)
+    if args.command == "info":
+        return _command_info(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -7,6 +7,7 @@ of which every algorithm in :mod:`repro.algorithms` is built.
 
 from repro.core.entities import ItemCatalog, ItemMeta, Triple, UserMeta
 from repro.core.problem import AdoptionTable, RevMaxInstance
+from repro.core.compiled import ColumnarAdoptionTable, CompiledInstance
 from repro.core.strategy import Strategy
 from repro.core.revenue import RevenueModel, group_dynamic_probability, memory_term
 from repro.core.constraints import (
@@ -31,6 +32,8 @@ from repro.core.vectorized import (
 __all__ = [
     "AdoptionTable",
     "CapacityConstraint",
+    "ColumnarAdoptionTable",
+    "CompiledInstance",
     "ConstraintChecker",
     "ConstraintViolation",
     "DisplayConstraint",

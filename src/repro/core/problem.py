@@ -42,6 +42,8 @@ class AdoptionTable:
         self._horizon = int(horizon)
         self._table: Dict[Tuple[int, int], np.ndarray] = {}
         self._user_items: Dict[int, List[int]] = {}
+        #: Mutation counter; lets cached compiled views detect staleness.
+        self._version = 0
 
     @property
     def horizon(self) -> int:
@@ -59,19 +61,31 @@ class AdoptionTable:
         """Store the length-``T`` probability vector for ``(user, item)``.
 
         Raises:
-            ValueError: if the vector has the wrong length or leaves [0, 1].
+            ValueError: if the vector has the wrong length, contains NaN, or
+                leaves [0, 1]; the error names the offending (user, item) pair.
         """
+        key = (int(user), int(item))
         vector = np.asarray(probabilities, dtype=float)
         if vector.shape != (self._horizon,):
             raise ValueError(
-                f"expected a vector of length {self._horizon}, got shape {vector.shape}"
+                f"adoption vector for (user={key[0]}, item={key[1]}) must have "
+                f"length {self._horizon}, got shape {vector.shape}"
+            )
+        if np.isnan(vector).any():
+            raise ValueError(
+                f"adoption probabilities for (user={key[0]}, item={key[1]}) "
+                f"contain NaN"
             )
         if np.any(vector < 0.0) or np.any(vector > 1.0):
-            raise ValueError("adoption probabilities must lie in [0, 1]")
-        key = (int(user), int(item))
+            bad = vector[(vector < 0.0) | (vector > 1.0)][0]
+            raise ValueError(
+                f"adoption probabilities must lie in [0, 1]; got {bad!r} for "
+                f"(user={key[0]}, item={key[1]})"
+            )
         if key not in self._table:
             self._user_items.setdefault(key[0], []).append(key[1])
         self._table[key] = vector
+        self._version += 1
 
     def get(self, user: int, item: int) -> Optional[np.ndarray]:
         """Return the probability vector for ``(user, item)`` or ``None``."""
@@ -101,12 +115,24 @@ class AdoptionTable:
 
         This is the candidate ground set the greedy algorithms operate on;
         its cardinality is the "#Triples with positive q" statistic of
-        Table 1 in the paper.
+        Table 1 in the paper.  Iteration follows the canonical candidate
+        order -- pairs sorted by (user, item), times ascending -- the same
+        order the columnar layout stores, so heap tie-breaking is identical
+        whichever path seeds the frontier.
         """
-        for (user, item), vector in self._table.items():
+        for (user, item) in self._sorted_pairs():
+            vector = self._table[(user, item)]
             for t in range(self._horizon):
                 if vector[t] > 0.0:
                     yield Triple(user, item, t)
+
+    def _sorted_pairs(self) -> List[Tuple[int, int]]:
+        """Pairs in canonical (user, item) order, cached per table version."""
+        cached = getattr(self, "_sorted_pairs_cache", None)
+        if cached is None or cached[0] != self._version:
+            cached = (self._version, sorted(self._table.keys()))
+            self._sorted_pairs_cache = cached
+        return cached[1]
 
     def num_positive_triples(self) -> int:
         """Count triples with positive primitive adoption probability."""
@@ -221,6 +247,47 @@ class RevMaxInstance:
         """Candidate items for ``user`` (non-zero adoption at some time)."""
         return self.adoption.items_for_user(user)
 
+    # ------------------------------------------------------------------
+    # columnar compilation
+    # ------------------------------------------------------------------
+    def compiled(self) -> "CompiledInstance":
+        """Return the columnar compilation of this instance (lazy, cached).
+
+        The first call walks the adoption table once and lays every input out
+        as contiguous ID-indexed tensors (see
+        :class:`repro.core.compiled.CompiledInstance`); subsequent calls
+        return the cached compilation.  Instances whose adoption table is
+        already columnar (built by the columnar generators or loaded from
+        ``.npz``) compile for free.  The cache is invalidated when the
+        adoption table is mutated after compilation.
+        """
+        from repro.core.compiled import CompiledInstance
+
+        cached = getattr(self, "_compiled", None)
+        version = getattr(self.adoption, "_version", 0)
+        if cached is None or cached.source_version != version:
+            cached = CompiledInstance.from_instance(self)
+            self._compiled = cached
+        return cached
+
+    def compiled_or_none(self) -> Optional["CompiledInstance"]:
+        """Return the cached compilation if one was already built, else None."""
+        return getattr(self, "_compiled", None)
+
+    def _transplant_compiled(self, derived: "RevMaxInstance", **swaps) -> None:
+        """Carry a cached compilation over to a derived instance.
+
+        The CSR candidate table only depends on the (shared) adoption table,
+        so ``with_betas``-style copies swap the per-item tensors instead of
+        re-walking the table.  Skipped when no fresh compilation is cached.
+        """
+        donor = self.compiled_or_none()
+        if donor is None:
+            return
+        if donor.source_version != getattr(self.adoption, "_version", 0):
+            return
+        derived._compiled = donor.replace(name=derived.name, **swaps)
+
     def expected_isolated_revenue(self, triple: Triple) -> float:
         """Return ``p(i, t) * q(u, i, t)``, the revenue of the triple alone.
 
@@ -236,9 +303,10 @@ class RevMaxInstance:
     # ------------------------------------------------------------------
     def with_singleton_classes(self) -> "RevMaxInstance":
         """Return a copy of the instance where every item is its own class."""
-        return RevMaxInstance(
+        catalog = ItemCatalog.singleton(self.num_items)
+        derived = RevMaxInstance(
             num_users=self.num_users,
-            catalog=ItemCatalog.singleton(self.num_items),
+            catalog=catalog,
             horizon=self.horizon,
             display_limit=self.display_limit,
             prices=self.prices,
@@ -247,6 +315,10 @@ class RevMaxInstance:
             adoption=self.adoption,
             name=f"{self.name}-singleton-classes",
         )
+        self._transplant_compiled(
+            derived, item_class=np.asarray(catalog.item_class, dtype=np.int64)
+        )
+        return derived
 
     def with_betas(self, betas) -> "RevMaxInstance":
         """Return a copy with different saturation factors.
@@ -259,7 +331,7 @@ class RevMaxInstance:
             beta_array = np.full(self.num_items, float(betas))
         else:
             beta_array = np.asarray(betas, dtype=float)
-        return RevMaxInstance(
+        derived = RevMaxInstance(
             num_users=self.num_users,
             catalog=self.catalog,
             horizon=self.horizon,
@@ -270,6 +342,8 @@ class RevMaxInstance:
             adoption=self.adoption,
             name=self.name,
         )
+        self._transplant_compiled(derived, betas=beta_array)
+        return derived
 
     def with_capacities(self, capacities) -> "RevMaxInstance":
         """Return a copy with different per-item capacities."""
@@ -277,7 +351,7 @@ class RevMaxInstance:
             capacity_array = np.full(self.num_items, int(capacities), dtype=int)
         else:
             capacity_array = np.asarray(capacities, dtype=int)
-        return RevMaxInstance(
+        derived = RevMaxInstance(
             num_users=self.num_users,
             catalog=self.catalog,
             horizon=self.horizon,
@@ -288,6 +362,8 @@ class RevMaxInstance:
             adoption=self.adoption,
             name=self.name,
         )
+        self._transplant_compiled(derived, capacities=capacity_array)
+        return derived
 
     def restricted_to_horizon(self, time_steps: Sequence[int]) -> "RevMaxInstance":
         """Return an instance whose horizon is a contiguous slice of this one.

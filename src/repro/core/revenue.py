@@ -27,6 +27,7 @@ the exact contract.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.entities import Triple
@@ -120,15 +121,18 @@ VECTORIZE_MIN_GROUP = 10
 
 
 def adaptive_group_revenue(instance: RevMaxInstance,
-                           group: Sequence[Triple]) -> float:
+                           group: Sequence[Triple],
+                           compiled=None) -> float:
     """The "numpy" backend kernel: vectorize dense groups, loop over tiny ones.
 
     Both branches implement the identical arithmetic of Definitions 1-2, so
     the dispatch is invisible apart from sub-1e-12 round-off differences.
+    The optional compiled instance feeds the vectorized branch its group
+    gathers from contiguous tensors (same floats, bit-identical results).
     """
     if len(group) < VECTORIZE_MIN_GROUP:
         return group_revenue(instance, group)
-    return vectorized_group_revenue(instance, group)
+    return vectorized_group_revenue(instance, group, compiled)
 
 
 def kernel_for_backend(backend: Optional[str]):
@@ -185,13 +189,30 @@ class RevenueModel:
             ``RevenueModel(instance, backend="python", cache=False)``
             reproduces the original pure-Python engine exactly.
         max_cache_entries: memory bound on the number of memoised groups.
+        compiled: feed the numpy kernels their group gathers from the
+            instance's columnar compilation (:mod:`repro.core.compiled`).
+            ``None``/``True`` compile lazily (cached on the instance) when
+            the backend is numpy; ``False`` keeps the object path (the
+            pre-compilation engine, for benchmarks and debugging).  The
+            python backend never compiles -- it stays the executable
+            specification of the object layout.
     """
 
     def __init__(self, instance: RevMaxInstance, backend: Optional[str] = None,
-                 cache: bool = True, max_cache_entries: int = 1_000_000) -> None:
+                 cache: bool = True, max_cache_entries: int = 1_000_000,
+                 compiled: Optional[bool] = None) -> None:
         self._instance = instance
         self._backend = resolve_backend(backend)
-        self._kernel = kernel_for_backend(self._backend)
+        self._compiled = (
+            instance.compiled()
+            if self._backend == "numpy" and compiled is not False
+            else None
+        )
+        if self._compiled is not None:
+            self._kernel = partial(adaptive_group_revenue,
+                                   compiled=self._compiled)
+        else:
+            self._kernel = kernel_for_backend(self._backend)
         self._cache: Optional[Dict[FrozenSet[Triple], float]] = {} if cache else None
         self._max_cache_entries = int(max_cache_entries)
         self._evaluations = 0
@@ -284,12 +305,35 @@ class RevenueModel:
         self._lookups += 1
         return self._group_revenue_internal(group)
 
+    def _refresh_compiled(self) -> None:
+        """Stop using compiled tensors once the adoption table is mutated.
+
+        The compiled view is version-checked against the adoption table
+        (one attribute read and an integer compare per evaluation).  On the
+        first staleness hit the model permanently falls back to the object
+        path -- reading the live table like the pre-compilation engine --
+        rather than recompiling, which would cost O(n_pairs) per mutation
+        round and turn interleaved mutate/evaluate workloads quadratic.
+        Models built after the mutations compile fresh tensors again.  (The
+        group *cache* intentionally keeps its no-invalidation contract: it
+        assumes the instance is treated as immutable; disable it when
+        mutating tables mid-flight.)
+        """
+        compiled = self._compiled
+        if compiled is None:
+            return
+        version = getattr(self._instance.adoption, "_version", 0)
+        if compiled.source_version != version:
+            self._compiled = None
+            self._kernel = kernel_for_backend(self._backend)
+
     def _group_revenue_internal(self, group: Sequence[Triple]) -> float:
         """Memoised group revenue without touching the lookup counter.
 
         The batch path uses this for the shared per-bucket "before" value,
         which is engine bookkeeping rather than a caller-requested score.
         """
+        self._refresh_compiled()
         if self._cache is None:
             self._evaluations += 1
             return self._kernel(self._instance, group)
@@ -405,6 +449,7 @@ class RevenueModel:
         the adaptive scalar dispatch, scaled by the batch size), otherwise to
         the backend's scalar kernel per candidate.
         """
+        self._refresh_compiled()
         values = [0.0] * len(candidates)
         base_key = frozenset(group) if self._cache is not None else None
         if self._cache is None:
@@ -435,7 +480,7 @@ class RevenueModel:
         )
         if use_batched_kernel:
             computed = vectorized_extended_group_revenues(
-                self._instance, group, pending
+                self._instance, group, pending, self._compiled
             )
         else:
             computed = [

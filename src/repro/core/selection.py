@@ -33,6 +33,20 @@ refresh of one (user, item) group is a single broadcasted kernel pass
 sharing the cached "before" group revenue instead of one kernel launch per
 candidate time step.
 
+Columnar seeding
+----------------
+When the caller passes ``candidates=None`` (the whole ground set) and the
+configuration is the paper default (isolated seeds, lazy forward, two-level
+frontier), seeding skips the per-triple path entirely: the instance is
+compiled into contiguous tensors (:mod:`repro.core.compiled`), seed
+priorities are the ``(n_pairs, T)`` matrix ``p(i, t) * q(u, i, t)`` computed
+in one vectorized pass, and the frontier is a
+:class:`repro.heaps.columnar.ColumnarFrontier` bulk-built from those arrays
+with lazily materialized lower heaps.  Ablation configurations and explicit
+candidate pools fall back to the per-triple seeding loop; both paths select
+identical triples (the columnar frontier reproduces the incremental heap's
+tie-breaking for the full-ground-set candidate order).
+
 The algorithms in :mod:`repro.algorithms` reduce to paper-logic-only
 orchestration on top of this class; the selection mechanics live here.
 """
@@ -41,15 +55,45 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.core.constraints import ConstraintChecker
 from repro.core.entities import Triple
 from repro.core.problem import RevMaxInstance
 from repro.core.revenue import RevenueModel
 from repro.core.strategy import Strategy
 from repro.heaps.binary_heap import AddressableMaxHeap
+from repro.heaps.columnar import ColumnarFrontier
 from repro.heaps.two_level import TwoLevelHeap
 
 __all__ = ["LazyGreedySelector", "SEED_ISOLATED", "SEED_MARGINAL"]
+
+
+class _ZeroFlags(dict):
+    """Freshness flags defaulting to 0 (maximally stale isolated seeds)."""
+
+    def __missing__(self, key) -> int:
+        return 0
+
+
+class _FrontierGroupKeys:
+    """(user, item) -> live-candidates view backed by a ColumnarFrontier.
+
+    Mirrors the ``Dict[Tuple[int, int], Set[Triple]]`` bookkeeping the
+    per-triple seeding path maintains, but reads group membership straight
+    from the frontier, so nothing is materialized per candidate.
+    """
+
+    def __init__(self, frontier: ColumnarFrontier) -> None:
+        self._frontier = frontier
+
+    def get(self, group, default=()):
+        members = self._frontier.group_members(group)
+        return members if members else set(default)
+
+    def pop(self, group, default=None):
+        self._frontier.drop_group(group)
+        return default
 
 #: Seed the frontier with isolated expected revenues ``p(i,t) * q(u,i,t)``
 #: (line 8 of Algorithm 1).  Cheap (no revenue-model calls) and a valid
@@ -90,6 +134,10 @@ class LazyGreedySelector:
             until the frontier is exhausted or goes non-positive).
         on_admit: optional ``(triple, gain)`` callback fired after every
             admission (growth-curve hooks beyond the built-in recording).
+        use_compiled: allow the columnar fast path when ``select`` is called
+            with ``candidates=None`` (default).  ``False`` forces the
+            per-triple seeding loop -- the pre-compilation engine, kept for
+            ablations and the scalability benchmarks.
     """
 
     def __init__(self, instance: RevMaxInstance, model: RevenueModel,
@@ -100,6 +148,7 @@ class LazyGreedySelector:
                  seed_priorities: str = SEED_MARGINAL,
                  max_selections: Optional[int] = None,
                  on_admit: Optional[Callable[[Triple, float], None]] = None,
+                 use_compiled: Optional[bool] = None,
                  ) -> None:
         if seed_priorities not in (SEED_ISOLATED, SEED_MARGINAL):
             raise ValueError(
@@ -115,11 +164,14 @@ class LazyGreedySelector:
         self._seed_priorities = seed_priorities
         self._max_selections = max_selections
         self._on_admit = on_admit
+        self._use_compiled = use_compiled if use_compiled is not None else True
 
     # ------------------------------------------------------------------
     # public entry point
     # ------------------------------------------------------------------
-    def select(self, strategy: Strategy, candidates: Iterable[Triple], *,
+    def select(self, strategy: Strategy,
+               candidates: Optional[Iterable[Triple]] = None, *,
+               allowed_times: Optional[Iterable[int]] = None,
                growth_curve: Optional[List[Tuple[int, float]]] = None,
                initial_revenue: Optional[float] = None) -> int:
         """Greedily admit candidates into ``strategy`` (in place).
@@ -129,6 +181,12 @@ class LazyGreedySelector:
             candidates: candidate triples to consider (triples already in the
                 strategy are skipped).  Iteration order fixes heap
                 tie-breaking, so callers should pass a deterministic order.
+                ``None`` means the instance's whole candidate ground set and
+                enables the columnar seeding fast path when the
+                configuration allows it.
+            allowed_times: optional whitelist of time steps; candidates at
+                other times are excluded from the frontier (the sub-horizon
+                setting of §6.3).
             growth_curve: optional list receiving cumulative
                 ``(size, revenue)`` checkpoints, appended across calls.
             initial_revenue: revenue of ``strategy`` before this call; when
@@ -138,7 +196,8 @@ class LazyGreedySelector:
         Returns:
             The number of triples admitted.
         """
-        heap, flags, group_keys = self._seed(strategy, candidates)
+        heap, flags, group_keys = self._seed(strategy, candidates,
+                                             allowed_times)
         if initial_revenue is None:
             initial_revenue = (
                 growth_curve[-1][1] if growth_curve else 0.0
@@ -170,7 +229,7 @@ class LazyGreedySelector:
             )
             strategy.add(triple)
             heap.discard(triple)
-            group_keys.get((triple.user, triple.item), set()).discard(triple)
+            self._note_removed(group_keys, (triple.user, triple.item), triple)
             admitted += 1
             revenue += gain
             if growth_curve is not None:
@@ -184,8 +243,32 @@ class LazyGreedySelector:
     # ------------------------------------------------------------------
     # frontier construction
     # ------------------------------------------------------------------
-    def _seed(self, strategy: Strategy, candidates: Iterable[Triple]):
+    def _columnar_eligible(self) -> bool:
+        """The columnar fast path covers the paper-default configuration.
+
+        The python backend is excluded on purpose: it is documented as the
+        executable specification of the object layout and must never
+        trigger compilation or columnar tensor allocations.
+        """
+        return (
+            self._use_compiled
+            and self._seed_priorities == SEED_ISOLATED
+            and self._use_lazy_forward
+            and self._use_two_level_heap
+            and self._model.backend == "numpy"
+        )
+
+    def _seed(self, strategy: Strategy,
+              candidates: Optional[Iterable[Triple]],
+              allowed_times: Optional[Iterable[int]]):
         """Build the frontier, freshness flags and (user, item) key index."""
+        if candidates is None:
+            if self._columnar_eligible():
+                return self._seed_columnar(strategy, allowed_times)
+            candidates = self._instance.candidate_triples()
+        if allowed_times is not None:
+            allowed = set(allowed_times)
+            candidates = (z for z in candidates if z.t in allowed)
         heap = (
             TwoLevelHeap() if self._use_two_level_heap else AddressableMaxHeap()
         )
@@ -222,9 +305,52 @@ class LazyGreedySelector:
             group_keys.setdefault(group, set()).add(triple)
         return heap, flags, group_keys
 
+    def _seed_columnar(self, strategy: Strategy,
+                       allowed_times: Optional[Iterable[int]]):
+        """Seed the frontier in one vectorized pass over the compiled table.
+
+        Isolated seed priorities are read straight off the compiled
+        instance's ``(n_pairs, T)`` isolated-revenue matrix; the two-level
+        frontier is bulk-built from the same arrays.  No per-candidate
+        Python object exists until a candidate's group is actually touched
+        by the selection loop.
+        """
+        compiled = self._instance.compiled()
+        priorities = compiled.isolated_revenues()
+        # Submodularity: non-positive isolated seeds can never be admitted.
+        seeded = priorities > 0.0
+        if allowed_times is not None:
+            mask = np.zeros(compiled.horizon, dtype=bool)
+            # Out-of-range times simply match no candidate, exactly like the
+            # per-triple path's `z.t in allowed` filter (negative values
+            # must not wrap around).
+            mask[[t for t in allowed_times if 0 <= t < compiled.horizon]] = True
+            seeded &= mask[None, :]
+        for triple in strategy:
+            row = compiled.pair_row(triple.user, triple.item)
+            if row >= 0 and 0 <= triple.t < compiled.horizon:
+                seeded[row, triple.t] = False
+        frontier = ColumnarFrontier(
+            compiled.pair_user, compiled.pair_item, priorities, seeded,
+            row_lookup=compiled.pair_row,
+        )
+        return frontier, _ZeroFlags(), _FrontierGroupKeys(frontier)
+
     # ------------------------------------------------------------------
     # frontier maintenance
     # ------------------------------------------------------------------
+    @staticmethod
+    def _note_removed(group_keys, group, triple: Triple) -> None:
+        """Drop a removed candidate from the dict bookkeeping.
+
+        The columnar frontier *is* the bookkeeping -- ``heap.discard``
+        already removed the entry -- so the shim case is a no-op rather
+        than materializing a throwaway membership set per admission.
+        """
+        if isinstance(group_keys, _FrontierGroupKeys):
+            return
+        group_keys.get(group, set()).discard(triple)
+
     def _discard_blocked(self, heap, group_keys, strategy: Strategy,
                          triple: Triple) -> None:
         """Drop candidates that can never become feasible again.
@@ -243,7 +369,12 @@ class LazyGreedySelector:
         group = (triple.user, triple.item)
         if display_blocked:
             heap.discard(triple)
-            group_keys.get(group, set()).discard(triple)
+            self._note_removed(group_keys, group, triple)
+            return
+        if isinstance(heap, ColumnarFrontier):
+            # Kills the whole row in one step -- no need to materialize the
+            # dying group's lower heap just to discard entry by entry.
+            heap.drop_group(group)
             return
         for candidate in list(group_keys.get(group, ())):
             heap.discard(candidate)

@@ -127,13 +127,21 @@ class GroupArrays:
 
     @classmethod
     def from_group(cls, instance: RevMaxInstance,
-                   group: Sequence[Triple]) -> "GroupArrays":
+                   group: Sequence[Triple],
+                   compiled=None) -> "GroupArrays":
         """Flatten a group of triples into arrays against an instance.
 
         The triples must share one user and one item class (as produced by
         :meth:`repro.core.strategy.Strategy.group_of_triple`); this is not
         re-checked here because the hot path cannot afford it.
+
+        When a :class:`~repro.core.compiled.CompiledInstance` is supplied,
+        the probabilities are gathered from its contiguous ``pair_probs``
+        tensor instead of per-triple adoption-table lookups; the gathered
+        values are the identical floats, so results are bit-identical.
         """
+        if compiled is not None:
+            return compiled.group_arrays(group)
         n = len(group)
         # Positional access (z[0] = user, z[1] = item, z[2] = t) works for both
         # Triple named tuples and plain tuples and is faster than attributes.
@@ -204,14 +212,17 @@ def vectorized_group_probabilities(arrays: GroupArrays) -> np.ndarray:
 
 
 def vectorized_group_revenue(instance: RevMaxInstance,
-                             group: Sequence[Triple]) -> float:
+                             group: Sequence[Triple],
+                             compiled=None) -> float:
     """Expected revenue of one (user, class) group (NumPy kernel).
 
-    Drop-in equivalent of :func:`repro.core.revenue.group_revenue`.
+    Drop-in equivalent of :func:`repro.core.revenue.group_revenue`.  Pass
+    the instance's :class:`~repro.core.compiled.CompiledInstance` to gather
+    group arrays from the columnar tensors.
     """
     if not group:
         return 0.0
-    arrays = GroupArrays.from_group(instance, group)
+    arrays = GroupArrays.from_group(instance, group, compiled)
     probabilities = vectorized_group_probabilities(arrays)
     return float(arrays.prices @ probabilities)
 
@@ -220,6 +231,7 @@ def vectorized_extended_group_revenues(
     instance: RevMaxInstance,
     group: Sequence[Triple],
     candidates: Sequence[Triple],
+    compiled=None,
 ) -> np.ndarray:
     """Revenues of ``group + [c]`` for every candidate ``c``, in one pass.
 
@@ -243,12 +255,12 @@ def vectorized_extended_group_revenues(
     m = len(candidates)
     if m == 0:
         return np.zeros(0)
-    cand = GroupArrays.from_group(instance, candidates)
+    cand = GroupArrays.from_group(instance, candidates, compiled)
     if not group:
         # Singleton groups: no memory, no competition.
         return cand.prices * cand.primitives
 
-    base = GroupArrays.from_group(instance, group)
+    base = GroupArrays.from_group(instance, group, compiled)
     base_memory = vectorized_memory_terms(base.times)
     delta_bb = (base.times[:, None] - base.times[None, :]).astype(np.float64)
     competes_bb = (delta_bb > 0.0) | (

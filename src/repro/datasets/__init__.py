@@ -3,7 +3,11 @@
 from repro.datasets.schema import MarketDataset
 from repro.datasets.amazon_like import AmazonLikeConfig, generate_amazon_like
 from repro.datasets.epinions_like import EpinionsLikeConfig, generate_epinions_like
-from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_instance
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    generate_synthetic_columnar,
+    generate_synthetic_instance,
+)
 from repro.datasets.capacities import (
     CAPACITY_DISTRIBUTIONS,
     sample_betas,
@@ -35,6 +39,7 @@ __all__ = [
     "format_table1",
     "generate_amazon_like",
     "generate_epinions_like",
+    "generate_synthetic_columnar",
     "generate_synthetic_instance",
     "run_pipeline",
     "sample_betas",

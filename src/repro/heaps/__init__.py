@@ -12,9 +12,15 @@ structures:
 
 Both structures are deterministic (ties broken by insertion order) so that
 algorithm outputs are reproducible.
+
+:class:`repro.heaps.columnar.ColumnarFrontier` is the bulk-seeded columnar
+variant of the two-level structure: one C-level ``heapify`` over the
+compiled candidate tensors replaces millions of per-triple inserts, and
+lower-level heaps materialize lazily (see :mod:`repro.core.compiled`).
 """
 
 from repro.heaps.binary_heap import AddressableMaxHeap
+from repro.heaps.columnar import ColumnarFrontier
 from repro.heaps.two_level import TwoLevelHeap
 
-__all__ = ["AddressableMaxHeap", "TwoLevelHeap"]
+__all__ = ["AddressableMaxHeap", "ColumnarFrontier", "TwoLevelHeap"]

@@ -14,17 +14,32 @@ produced by other tools:
   and a sparse list of adoption-probability rows;
 * strategies store a list of ``[user, item, t]`` triples;
 * results store the scalar summary plus the strategy inline.
+
+Binary columnar format
+----------------------
+JSON is the interchange format; it is neither compact nor fast at
+production scale (a million candidate pairs is ~100 MB of decimal text).
+:func:`save_instance_npz` / :func:`load_instance_npz` therefore serialize
+the *compiled* columnar tensors of an instance
+(:class:`~repro.core.compiled.CompiledInstance`) as a standard uncompressed
+NumPy ``.npz`` archive.  On load the big tensors are **memory-mapped**
+straight out of the archive (uncompressed zip members are plain ``.npy``
+payloads at a known byte offset), so opening a multi-gigabyte instance
+costs a few page faults rather than a full read -- and the returned
+instance is columnar-backed end to end.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 import numpy as np
 
 from repro.algorithms.base import AlgorithmResult
+from repro.core.compiled import CompiledInstance
 from repro.core.entities import ItemCatalog, Triple
 from repro.core.problem import AdoptionTable, RevMaxInstance
 from repro.core.strategy import Strategy
@@ -35,6 +50,8 @@ __all__ = [
     "instance_from_dict",
     "save_instance",
     "load_instance",
+    "save_instance_npz",
+    "load_instance_npz",
     "strategy_to_dict",
     "strategy_from_dict",
     "save_strategy",
@@ -114,6 +131,138 @@ def save_instance(instance: RevMaxInstance, path: _PathLike) -> None:
 def load_instance(path: _PathLike) -> RevMaxInstance:
     """Read an instance from a JSON file."""
     return instance_from_dict(_read_json(path))
+
+
+# ----------------------------------------------------------------------
+# compiled instances (.npz, memory-mapped on load)
+# ----------------------------------------------------------------------
+def save_instance_npz(instance: RevMaxInstance, path: _PathLike) -> None:
+    """Write an instance's columnar compilation as an uncompressed ``.npz``.
+
+    The archive holds the compiled tensors (``user_ptr``, ``pair_item``,
+    ``pair_probs``, ``prices``, ``capacities``, ``betas``, ``item_class``)
+    plus the scalar metadata; it is a plain NumPy archive readable by any
+    tool.  Compression is deliberately off so that
+    :func:`load_instance_npz` can memory-map the tensors in place.
+    """
+    compiled = instance.compiled()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # savez on a file object: no surprise ".npz" suffix appended to the path.
+    with path.open("wb") as handle:
+        np.savez(
+            handle,
+            format_version=np.int64(FORMAT_VERSION),
+            kind=np.str_("revmax-instance-columnar"),
+            name=np.str_(compiled.name),
+            class_names_json=np.str_(json.dumps(
+                {str(k): v for k, v in instance.catalog.class_names.items()}
+            )),
+            num_users=np.int64(compiled.num_users),
+            horizon=np.int64(compiled.horizon),
+            display_limit=np.int64(compiled.display_limit),
+            user_ptr=compiled.user_ptr,
+            pair_item=compiled.pair_item,
+            pair_probs=compiled.pair_probs,
+            prices=compiled.prices,
+            capacities=compiled.capacities,
+            betas=compiled.betas,
+            item_class=compiled.item_class,
+        )
+
+
+def _mmap_npz_members(path: Path) -> Optional[Dict[str, np.ndarray]]:
+    """Memory-map every member of an *uncompressed* ``.npz`` archive.
+
+    ``np.load`` cannot memory-map zipped archives, but ``np.savez`` stores
+    members uncompressed (``ZIP_STORED``), so each member's bytes are a
+    verbatim ``.npy`` file at ``local header offset + header size``.  This
+    parses the npy header of each member and maps the payload with
+    ``np.memmap``.  Returns ``None`` when any member is compressed (fall
+    back to a regular load).
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                return None
+            # Local file header: 30 fixed bytes, then name and extra field
+            # (whose length may differ from the central directory's copy).
+            raw.seek(info.header_offset)
+            local_header = raw.read(30)
+            if local_header[:4] != b"PK\x03\x04":
+                return None
+            name_length = int.from_bytes(local_header[26:28], "little")
+            extra_length = int.from_bytes(local_header[28:30], "little")
+            raw.seek(info.header_offset + 30 + name_length + extra_length)
+            version = np.lib.format.read_magic(raw)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(raw)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(raw)
+            else:
+                return None
+            key = info.filename[:-4] if info.filename.endswith(".npy") else (
+                info.filename
+            )
+            arrays[key] = np.memmap(
+                path, dtype=dtype, mode="r", offset=raw.tell(), shape=shape,
+                order="F" if fortran else "C",
+            )
+    return arrays
+
+
+def load_instance_npz(path: _PathLike, mmap: bool = True) -> RevMaxInstance:
+    """Read a columnar instance from ``.npz``; tensors memory-mapped by default.
+
+    Args:
+        path: archive written by :func:`save_instance_npz`.
+        mmap: map the tensors read-only straight out of the archive
+            (``False`` or a compressed archive reads them into memory).
+
+    Returns:
+        A columnar-backed :class:`~repro.core.problem.RevMaxInstance`; its
+        ``compiled()`` is free and no pair dict exists.
+    """
+    path = Path(path)
+    arrays = _mmap_npz_members(path) if mmap else None
+    if arrays is None:
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+    kind = str(arrays["kind"])
+    if kind != "revmax-instance-columnar":
+        raise ValueError(
+            f"expected a 'revmax-instance-columnar' archive, got {kind!r}"
+        )
+    version = int(arrays["format_version"])
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {version!r} (supported: {FORMAT_VERSION})"
+        )
+    compiled = CompiledInstance(
+        num_users=int(arrays["num_users"]),
+        horizon=int(arrays["horizon"]),
+        display_limit=int(arrays["display_limit"]),
+        user_ptr=arrays["user_ptr"],
+        pair_item=arrays["pair_item"],
+        pair_probs=arrays["pair_probs"],
+        prices=arrays["prices"],
+        capacities=arrays["capacities"],
+        betas=arrays["betas"],
+        item_class=arrays["item_class"],
+        name=str(arrays["name"]),
+        # The writer validated; a full check would page in every tensor and
+        # defeat the lazy memory mapping.
+        validate=False,
+    )
+    class_names = {
+        int(k): v
+        for k, v in json.loads(str(arrays.get("class_names_json", "{}"))).items()
+    }
+    catalog = ItemCatalog.from_assignment(
+        compiled.item_class.tolist(), class_names
+    )
+    return compiled.as_instance(catalog=catalog)
 
 
 # ----------------------------------------------------------------------

@@ -93,6 +93,38 @@ class TestCompareCommand:
             assert name in captured.out
 
 
+class TestInfoCommand:
+    def test_info_prints_statistics_and_footprint(self, capsys):
+        exit_code = main(["info", "--dataset", "amazon", "--scale", "tiny"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "candidate (user, item) pairs" in captured.out
+        assert "compiled tensor footprint" in captured.out
+        assert "pair_probs" in captured.out
+        assert "total" in captured.out
+
+    def test_info_loads_saved_npz(self, tmp_path, capsys):
+        instance_path = tmp_path / "instance.npz"
+        assert main(["solve", "--scale", "tiny",
+                     "--save-instance", str(instance_path)]) == 0
+        capsys.readouterr()
+        exit_code = main(["info", "--load", str(instance_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "amazon-like" in captured.out
+        assert "(user, class) groups" in captured.out
+
+    def test_info_loads_saved_json(self, tmp_path, capsys):
+        instance_path = tmp_path / "instance.json"
+        assert main(["solve", "--scale", "tiny",
+                     "--save-instance", str(instance_path)]) == 0
+        capsys.readouterr()
+        exit_code = main(["info", "--load", str(instance_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "candidate triples (positive q)" in captured.out
+
+
 class TestExhibitCommand:
     def test_exhibit_table1(self, capsys):
         exit_code = main(["exhibit", "table1", "--scale", "tiny"])
