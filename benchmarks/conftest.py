@@ -13,8 +13,10 @@ whole suite stays laptop-friendly.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
+import tempfile
 
 import pytest
 
@@ -41,6 +43,33 @@ def bench_scale() -> str:
 def sweep_scale() -> str:
     """Scale used by benchmarks that sweep many configurations (lazy)."""
     return os.environ.get("REPRO_BENCH_SWEEP_SCALE", _SWEEP_FALLBACK[bench_scale()])
+
+
+def write_bench_json(path: str, document: dict) -> None:
+    """Atomically write a ``BENCH_*.json`` record (temp file + rename).
+
+    The benchmark records double as roadmap telemetry, so a crashed or
+    concurrent run (the smoke job and a local sweep racing, say) must never
+    leave a truncated or half-updated file: the document is serialized to a
+    sibling temp file and atomically renamed over the target.  Keys are
+    sorted so reruns produce byte-stable, diffable records.
+    """
+    path = os.path.abspath(path)
+    descriptor, staging = tempfile.mkstemp(
+        dir=os.path.dirname(path), prefix=os.path.basename(path) + ".",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(staging, path)
+    except BaseException:
+        try:
+            os.unlink(staging)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
 
 
 def run_once(benchmark, function, *args, **kwargs):

@@ -27,7 +27,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import bench_scale, run_once
+from benchmarks.conftest import bench_scale, run_once, write_bench_json
 from repro.algorithms.global_greedy import GlobalGreedy
 from repro.algorithms.local_greedy import RandomizedLocalGreedy
 from repro.core.problem import AdoptionTable, RevMaxInstance
@@ -53,16 +53,14 @@ _RECORD_PATH = os.path.join(
 
 
 def _record(section: str, payload: dict) -> None:
-    """Merge one section into ``BENCH_selection.json``."""
+    """Merge one section into ``BENCH_selection.json`` (atomic write)."""
     document = {}
     if os.path.exists(_RECORD_PATH):
         with open(_RECORD_PATH) as handle:
             document = json.load(handle)
     document[section] = payload
     document["scale"] = bench_scale()
-    with open(_RECORD_PATH, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_bench_json(_RECORD_PATH, document)
 
 
 def _dense_instance() -> RevMaxInstance:

@@ -23,11 +23,10 @@ machine variance matters more than the trajectory there.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
-from benchmarks.conftest import bench_scale, run_once
+from benchmarks.conftest import bench_scale, run_once, write_bench_json
 from repro.core.constraints import ConstraintChecker
 from repro.core.revenue import RevenueModel
 from repro.core.selection import SEED_ISOLATED, LazyGreedySelector
@@ -133,25 +132,23 @@ def test_columnar_scalability_sweep(benchmark):
         f"-> {stats['speedup']:.1f}x (gate >= {stats['gate']}x)"
     )
 
-    with open(_RECORD_PATH, "w") as handle:
-        json.dump({
-            "scale": bench_scale(),
-            "admissions": ADMISSIONS,
-            "sweep": points,
-            "head_to_head": {
-                "users": points[-1]["users"],
-                "pairs": points[-1]["pairs"],
-                "object_seconds": stats["object"]["seconds"],
-                "compiled_seconds": stats["compiled"]["seconds"],
-                "speedup": stats["speedup"],
-                "revenue": stats["compiled"]["revenue"],
-                "bit_identical": (
-                    stats["compiled"]["growth_curve"]
-                    == stats["object"]["growth_curve"]
-                ),
-            },
-        }, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_bench_json(_RECORD_PATH, {
+        "scale": bench_scale(),
+        "admissions": ADMISSIONS,
+        "sweep": points,
+        "head_to_head": {
+            "users": points[-1]["users"],
+            "pairs": points[-1]["pairs"],
+            "object_seconds": stats["object"]["seconds"],
+            "compiled_seconds": stats["compiled"]["seconds"],
+            "speedup": stats["speedup"],
+            "revenue": stats["compiled"]["revenue"],
+            "bit_identical": (
+                stats["compiled"]["growth_curve"]
+                == stats["object"]["growth_curve"]
+            ),
+        },
+    })
 
     # Acceptance gates: the default-scale sweep reaches production size ...
     if bench_scale() != "tiny":

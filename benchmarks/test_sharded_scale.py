@@ -1,0 +1,209 @@
+"""Sharded G-Greedy at scale -- user-partitioned selection across processes.
+
+The columnar core (PR 3, ``BENCH_scale.json``) made one core fast; the
+sharded solver (:mod:`repro.shard`) spreads the same selection across
+worker processes attached zero-copy to the compiled tensors.  This suite
+drives it at production size -- **well past 250k users / 2.5M candidate
+pairs, topping out at 400k users / 4M pairs / 20M triples** at the default
+benchmark scale (T = 5, the paper's horizon) -- and gates the win:
+
+* the **sweep** generates columnar synthetic instances of growing user
+  count and runs the sharded solve (seeding + a fixed number of
+  admissions) at 4 workers on each, recording wall-clock;
+* the **head-to-head** at the largest size runs the identical selection on
+  the serial columnar path and asserts the sharded run is **bit-identical**
+  (revenue growth curve and admitted triples) and **>= 2x** faster at 4
+  workers -- the speedup gate applies when the machine actually has >= 4
+  cores and the scale is not the CI smoke tier; otherwise the numbers are
+  recorded as telemetry with a sanity bound only (a single-core box pays
+  pure process overhead and cannot certify parallel speedups).
+
+Results are recorded to ``BENCH_shard.json`` (atomically; see
+``write_bench_json``) so the roadmap's BENCH trajectory and the nightly
+scale workflow can track the sharded solver over time.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import bench_scale, run_once, write_bench_json
+from repro.core.constraints import ConstraintChecker
+from repro.core.revenue import RevenueModel
+from repro.core.selection import SEED_ISOLATED, LazyGreedySelector
+from repro.core.strategy import Strategy
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_columnar
+
+#: Worker processes of the gated head-to-head (the ISSUE's acceptance point).
+WORKERS = 4
+
+#: Admissions after seeding; keeps the timed region dominated by the
+#: parallelizable seeding sweep while proving the full coordinator protocol
+#: (proposals, capacity drops, admissions) end to end.
+ADMISSIONS = 100
+
+_RECORD_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_shard.json",
+)
+
+
+def _sweep_settings():
+    """User counts and the speedup gate for the current scale / machine.
+
+    The head-to-head instance is sized so the parallelizable seeding sweep
+    dominates the sharded path's fixed costs (worker spawn, shared-memory
+    publication, coordinator round trips); the 2x gate applies wherever the
+    hardware can actually run 4 workers concurrently.  Boxes with fewer
+    cores than workers cannot certify a parallel speedup at all -- 4
+    processes time-slicing one core measure pure overhead -- so the gate
+    drops to a sanity bound there and the numbers (plus ``cpu_count``) are
+    recorded as telemetry.  ``REPRO_SHARD_SPEEDUP_GATE`` overrides the gate
+    either way (e.g. tightening it on dedicated many-core hardware).
+    """
+    cores = os.cpu_count() or 1
+    if bench_scale() == "tiny":
+        # The tiny head-to-head solves in tens of milliseconds -- less than
+        # the fixed worker-spawn + publish cost -- so no core count makes a
+        # speedup attainable; smoke mode only sanity-checks the protocol.
+        users, gate = (2_000, 4_000, 8_000), 0.02
+    else:
+        users, gate = ((100_000, 250_000, 400_000),
+                       (2.0 if cores >= WORKERS else 0.1))
+    return users, float(os.environ.get("REPRO_SHARD_SPEEDUP_GATE", gate))
+
+
+def _config(num_users: int) -> SyntheticConfig:
+    return SyntheticConfig(
+        num_users=num_users, num_items=2_000, num_classes=100,
+        candidates_per_user=10, horizon=5, display_limit=2,
+        capacity_fraction=0.25, beta=0.5, seed=7,
+    )
+
+
+def _timed_selection(instance, shards, jobs):
+    """Seed the G-Greedy frontier and admit ``ADMISSIONS`` triples.
+
+    ``shards=None`` is the serial columnar path; otherwise the sharded
+    solver runs with worker startup, shared-memory publication and shutdown
+    all inside the timed region (that overhead is part of the honest cost).
+    Each timed run recomputes the isolated-revenue matrix -- worker
+    processes always do, so the serial path must not keep a warm cache
+    across repeats.
+    """
+    instance.compiled()._isolated = None
+    strategy = Strategy(instance.catalog)
+    model = RevenueModel(instance, backend="numpy")
+    selector = LazyGreedySelector(
+        instance, model, ConstraintChecker(instance),
+        seed_priorities=SEED_ISOLATED, max_selections=ADMISSIONS,
+        shards=shards, jobs=jobs,
+    )
+    growth_curve = []
+    start = time.perf_counter()
+    selector.select(strategy, None, growth_curve=growth_curve)
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": seconds,
+        "growth_curve": growth_curve,
+        "revenue": growth_curve[-1][1] if growth_curve else 0.0,
+        "admitted": len(strategy),
+        "triples": sorted(strategy.triples()),
+    }
+
+
+def _run_sweep():
+    user_counts, gate = _sweep_settings()
+    points = []
+    largest = None
+    for num_users in user_counts:
+        instance = generate_synthetic_columnar(_config(num_users))
+        compiled = instance.compiled()
+        result = _timed_selection(instance, shards=WORKERS, jobs=WORKERS)
+        points.append({
+            "users": num_users,
+            "pairs": compiled.num_pairs,
+            "triples": compiled.num_candidate_triples(),
+            "workers": WORKERS,
+            "seconds": result["seconds"],
+            "revenue": result["revenue"],
+        })
+        largest = (instance, result)
+    instance, sharded_result = largest
+
+    # Best of two at the gate point, both paths: one cold run's allocator /
+    # page-cache jitter must not decide a 2x gate either way.
+    second_sharded = _timed_selection(instance, shards=WORKERS, jobs=WORKERS)
+    if second_sharded["seconds"] < sharded_result["seconds"]:
+        sharded_result = second_sharded
+    serial_result = _timed_selection(instance, shards=None, jobs=None)
+    second_serial = _timed_selection(instance, shards=None, jobs=None)
+    if second_serial["seconds"] < serial_result["seconds"]:
+        serial_result = second_serial
+    return {
+        "points": points,
+        "gate": gate,
+        "sharded": sharded_result,
+        "serial": serial_result,
+        "speedup": serial_result["seconds"] / sharded_result["seconds"],
+    }
+
+
+def test_sharded_scalability_sweep(benchmark):
+    stats = run_once(benchmark, _run_sweep)
+    points = stats["points"]
+    cores = os.cpu_count() or 1
+
+    print(f"\nsharded G-Greedy sweep at {WORKERS} workers "
+          f"(+{ADMISSIONS} admissions, {cores} cores):")
+    for point in points:
+        per_triple = point["seconds"] / point["triples"] * 1e9
+        print(
+            f"  {point['users']:>8,} users  {point['pairs']:>10,} pairs  "
+            f"{point['triples']:>10,} triples  {point['seconds']:7.2f}s  "
+            f"({per_triple:6.1f} ns/triple)"
+        )
+    print(
+        f"head-to-head at {points[-1]['users']:,} users: "
+        f"serial {stats['serial']['seconds']:.2f}s vs "
+        f"sharded({WORKERS}) {stats['sharded']['seconds']:.2f}s "
+        f"-> {stats['speedup']:.2f}x (gate >= {stats['gate']}x)"
+    )
+
+    bit_identical = (
+        stats["sharded"]["growth_curve"] == stats["serial"]["growth_curve"]
+        and stats["sharded"]["triples"] == stats["serial"]["triples"]
+    )
+    write_bench_json(_RECORD_PATH, {
+        "scale": bench_scale(),
+        "admissions": ADMISSIONS,
+        "workers": WORKERS,
+        "cpu_count": cores,
+        "sweep": points,
+        "head_to_head": {
+            "users": points[-1]["users"],
+            "pairs": points[-1]["pairs"],
+            "serial_seconds": stats["serial"]["seconds"],
+            "sharded_seconds": stats["sharded"]["seconds"],
+            "speedup": stats["speedup"],
+            "gate": stats["gate"],
+            "revenue": stats["sharded"]["revenue"],
+            "bit_identical": bit_identical,
+        },
+    })
+
+    # Acceptance gates: the default-scale sweep reaches production size ...
+    if bench_scale() != "tiny":
+        assert points[-1]["users"] >= 250_000
+        assert points[-1]["pairs"] >= 2_500_000
+    # ... the sweep grows monotonically and the selection is real ...
+    assert all(b["pairs"] > a["pairs"] for a, b in zip(points, points[1:]))
+    assert stats["sharded"]["revenue"] > 0.0
+    assert stats["sharded"]["admitted"] == ADMISSIONS
+    # ... sharded and serial make the same decisions, bit for bit ...
+    assert stats["sharded"]["growth_curve"] == stats["serial"]["growth_curve"]
+    assert stats["sharded"]["triples"] == stats["serial"]["triples"]
+    # ... and partitioning pays at least the gated factor (>= 2x at 4
+    # workers wherever >= 4 cores exist; telemetry-only below that).
+    assert stats["speedup"] >= stats["gate"]

@@ -34,6 +34,8 @@ setup(
         "test": [
             "pytest>=7",
             "pytest-benchmark>=4",
+            "pytest-cov>=4",
+            "pytest-xdist>=3",
             "hypothesis>=6",
         ],
     },

@@ -52,6 +52,12 @@ class GlobalGreedy(RevMaxAlgorithm):
             compilation (default).  ``False`` forces the per-triple seeding
             loop (the pre-compilation path, kept for the scalability
             benchmarks).
+        shards: partition users into this many contiguous shards and select
+            across worker processes (:mod:`repro.shard`; ``0``: one per
+            core).  Results are bit-identical to the serial run; worth it
+            once instances reach hundreds of thousands of candidate pairs.
+        jobs: worker processes for the sharded path (``None``: one per
+            shard, capped at the core count; ``1``: shards in-process).
     """
 
     name = "G-Greedy"
@@ -60,11 +66,15 @@ class GlobalGreedy(RevMaxAlgorithm):
                  use_two_level_heap: bool = True,
                  ignore_saturation: bool = False,
                  backend: Optional[str] = None,
-                 use_compiled: Optional[bool] = None) -> None:
+                 use_compiled: Optional[bool] = None,
+                 shards: Optional[int] = None,
+                 jobs: Optional[int] = None) -> None:
         self._use_lazy_forward = use_lazy_forward
         self._use_two_level_heap = use_two_level_heap
         self._ignore_saturation = ignore_saturation
         self._use_compiled = use_compiled
+        self._shards = shards
+        self._jobs = jobs
         self.backend = backend
         if ignore_saturation:
             self.name = "GlobalNo"
@@ -112,6 +122,8 @@ class GlobalGreedy(RevMaxAlgorithm):
             seed_priorities=SEED_ISOLATED,
             max_selections=self._max_selections(instance, allowed) + len(strategy),
             use_compiled=self._use_compiled,
+            shards=self._shards,
+            jobs=self._jobs,
         )
         growth_curve: List[Tuple[int, float]] = []
         # candidates=None is the whole ground set; the selector seeds from
@@ -129,6 +141,8 @@ class GlobalGreedy(RevMaxAlgorithm):
             "two_level_heap": self._use_two_level_heap,
             "ignore_saturation": self._ignore_saturation,
         }
+        if self._shards is not None:
+            self.last_extras["shards"] = self._shards
         return strategy
 
     @staticmethod
@@ -144,5 +158,8 @@ class GlobalGreedyNoSaturation(GlobalGreedy):
 
     name = "GlobalNo"
 
-    def __init__(self, backend: Optional[str] = None) -> None:
-        super().__init__(ignore_saturation=True, backend=backend)
+    def __init__(self, backend: Optional[str] = None,
+                 shards: Optional[int] = None,
+                 jobs: Optional[int] = None) -> None:
+        super().__init__(ignore_saturation=True, backend=backend,
+                         shards=shards, jobs=jobs)

@@ -58,13 +58,15 @@ _SUITE_EXHIBITS = ("table2", "figure1", "figure2", "figure3")
 
 def _make_algorithm(key: str, pipeline, seed: int,
                     backend: Optional[str] = None,
-                    jobs: Optional[int] = None) -> RevMaxAlgorithm:
+                    jobs: Optional[int] = None,
+                    shards: Optional[int] = None) -> RevMaxAlgorithm:
     """Instantiate one algorithm by its CLI key."""
     key = key.lower()
     if key == "gg":
-        return GlobalGreedy(backend=backend)
+        return GlobalGreedy(backend=backend, shards=shards, jobs=jobs)
     if key == "gg-no":
-        return GlobalGreedyNoSaturation(backend=backend)
+        return GlobalGreedyNoSaturation(backend=backend, shards=shards,
+                                        jobs=jobs)
     if key == "slg":
         return SequentialLocalGreedy(backend=backend)
     if key == "rlg":
@@ -103,10 +105,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the result (summary + plan) as JSON")
     solve.add_argument("--save-instance", metavar="PATH", default=None,
                        help="write the solved instance as JSON")
+    solve.add_argument("--shards", type=int, default=None, metavar="K",
+                       help="partition users into K shards and run G-Greedy "
+                            "/ GlobalNo across worker processes (0: one per "
+                            "core); results are bit-identical to a serial "
+                            "solve")
     _add_engine_arguments(
         solve,
-        jobs_help="worker processes for RL-Greedy's permutations "
-                  "(0: one per core; other algorithms run in-process)",
+        jobs_help="worker processes for RL-Greedy's permutations and for "
+                  "sharded G-Greedy (0: one per core; other algorithms run "
+                  "in-process)",
     )
 
     compare = subparsers.add_parser(
@@ -152,7 +160,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _command_solve(args: argparse.Namespace) -> int:
     pipeline = prepare_dataset(args.dataset, scale=args.scale, seed=args.seed)
     algorithm = _make_algorithm(args.algorithm, pipeline, args.seed,
-                                backend=args.backend, jobs=args.jobs)
+                                backend=args.backend, jobs=args.jobs,
+                                shards=args.shards)
     result = algorithm.run(pipeline.instance)
     print(result.summary())
     if args.save_instance:

@@ -91,19 +91,25 @@ class CompiledInstance:
         self.name = str(name)
         self.source_version = int(source_version)
         self._validate_shapes()
-        # pair_user is derivable from user_ptr; keep it explicit because the
-        # frontier and the group index read it per pair.
-        counts = np.diff(self.user_ptr)
-        self.pair_user = np.repeat(
-            np.arange(self.num_users, dtype=np.int64), counts
-        )
-        # Sorted (user, item) keys for O(log n) vectorized row lookups.
         self._key_stride = max(1, self.num_items)
-        self._pair_keys = self.pair_user * self._key_stride + self.pair_item
+        # pair_user and the sorted lookup keys are derivable from the CSR;
+        # they materialize lazily so that attaching to a full instance just
+        # to slice out one shard (the sharded solver's worker startup) never
+        # pays two O(n_pairs) passes over rows it is about to drop.
+        self._pair_user: Optional[np.ndarray] = None
+        self._keys: Optional[np.ndarray] = None
         if validate:
             self._validate()
         self._isolated: Optional[np.ndarray] = None
         self._groups: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        #: Path of the ``.npz`` archive this compilation was loaded from, if
+        #: any.  Lets the sharded solver attach workers by path + shard range
+        #: instead of copying the tensors into shared memory.
+        self.source_path: Optional[str] = None
+        #: Global CSR row of this compilation's local row 0 -- non-zero only
+        #: on views produced by :meth:`shard`, where it lets consumers map
+        #: local rows back to the full instance's row space.
+        self.shard_row_offset: int = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -212,6 +218,23 @@ class CompiledInstance:
     # sizes and diagnostics
     # ------------------------------------------------------------------
     @property
+    def pair_user(self) -> np.ndarray:
+        """User id of every pair row, shape ``(n_pairs,)`` (lazy)."""
+        if self._pair_user is None:
+            counts = np.diff(self.user_ptr)
+            self._pair_user = np.repeat(
+                np.arange(self.num_users, dtype=np.int64), counts
+            )
+        return self._pair_user
+
+    @property
+    def _pair_keys(self) -> np.ndarray:
+        """Sorted (user, item) keys for vectorized row lookups (lazy)."""
+        if self._keys is None:
+            self._keys = self.pair_user * self._key_stride + self.pair_item
+        return self._keys
+
+    @property
     def num_items(self) -> int:
         """Number of items ``|I|``."""
         return int(self.item_class.shape[0])
@@ -233,21 +256,24 @@ class CompiledInstance:
     def memory_footprint(self) -> Dict[str, int]:
         """Per-tensor byte sizes plus a ``"total"`` entry.
 
-        Includes the derived lookup keys and, once materialized by a seeding
-        pass, the cached isolated-revenue matrix -- the footprint reflects
-        what the compilation actually holds resident, not just the inputs.
+        Derived tensors (``pair_user``, the lookup keys, the cached
+        isolated-revenue matrix and the group index) are included once they
+        have materialized -- the footprint reflects what the compilation
+        actually holds resident, not just the inputs.
         """
         tensors = {
             "user_ptr": self.user_ptr,
-            "pair_user": self.pair_user,
             "pair_item": self.pair_item,
-            "pair_keys": self._pair_keys,
             "pair_probs": self.pair_probs,
             "prices": self.prices,
             "capacities": self.capacities,
             "betas": self.betas,
             "item_class": self.item_class,
         }
+        if self._pair_user is not None:
+            tensors["pair_user"] = self._pair_user
+        if self._keys is not None:
+            tensors["pair_keys"] = self._keys
         if self._isolated is not None:
             tensors["isolated_revenues"] = self._isolated
         if self._groups is not None:
@@ -291,7 +317,60 @@ class CompiledInstance:
         )
         if prices is None:
             derived._isolated = self._isolated
+        # The row-derived tensors depend only on the shared CSR (the item
+        # count is fixed by the shape checks), so any materialized caches
+        # carry over -- as does the row space / provenance bookkeeping.
+        derived._pair_user = self._pair_user
+        derived._keys = self._keys
+        derived.source_path = self.source_path
+        derived.shard_row_offset = self.shard_row_offset
         return derived
+
+    def shard(self, user_start: int, user_stop: int) -> "CompiledInstance":
+        """A view of this compilation restricted to one contiguous user range.
+
+        The shard keeps the *global* user-id space (``num_users`` is
+        unchanged) so strategies, display counts and (user, class) groups use
+        the same ids as the full instance; users outside
+        ``[user_start, user_stop)`` simply have no candidate pairs.  The pair
+        tensors are row slices ``user_ptr[user_start] : user_ptr[user_stop]``
+        of the originals -- zero-copy views into whatever backs them (heap
+        arrays, shared memory, or a memory-mapped ``.npz``) -- and the
+        per-item tensors are shared.  Local pair row ``r`` of the shard is
+        global row ``user_ptr[user_start] + r`` (recorded as the view's
+        ``shard_row_offset``), which is how the sharded solver reproduces
+        the serial frontier's tie-breaking.
+        """
+        if not 0 <= user_start <= user_stop <= self.num_users:
+            raise ValueError(
+                f"invalid shard range [{user_start}, {user_stop}) for "
+                f"{self.num_users} users"
+            )
+        row_start = int(self.user_ptr[user_start])
+        row_stop = int(self.user_ptr[user_stop])
+        user_ptr = np.clip(self.user_ptr, row_start, row_stop) - row_start
+        shard = CompiledInstance(
+            num_users=self.num_users,
+            horizon=self.horizon,
+            display_limit=self.display_limit,
+            user_ptr=user_ptr,
+            pair_item=self.pair_item[row_start:row_stop],
+            pair_probs=self.pair_probs[row_start:row_stop],
+            prices=self.prices,
+            capacities=self.capacities,
+            betas=self.betas,
+            item_class=self.item_class,
+            name=f"{self.name}-users{user_start}-{user_stop}",
+            source_version=self.source_version,
+            # Row slices of tensors validated at compile / save time.
+            validate=False,
+        )
+        if self._isolated is not None:
+            shard._isolated = self._isolated[row_start:row_stop]
+        # Accumulate across nested shards so local row r always maps to the
+        # ORIGINAL instance's row space, whatever view it was sliced from.
+        shard.shard_row_offset = self.shard_row_offset + row_start
+        return shard
 
     # ------------------------------------------------------------------
     # row lookups

@@ -297,6 +297,19 @@ class RevenueModel:
         self._cache_hits = 0
         self._lookups = 0
 
+    def absorb_counts(self, evaluations: int = 0, cache_hits: int = 0,
+                      lookups: int = 0) -> None:
+        """Fold counters of work done on this model's behalf elsewhere.
+
+        The sharded solver (:mod:`repro.shard`) scores candidates in worker
+        processes, each with its own shard-local model; the coordinator folds
+        their counters back here so ``evaluations`` / ``lookups`` keep
+        meaning "work this solve performed" whether or not it was sharded.
+        """
+        self._evaluations += int(evaluations)
+        self._cache_hits += int(cache_hits)
+        self._lookups += int(lookups)
+
     # ------------------------------------------------------------------
     # group-level primitives (override points)
     # ------------------------------------------------------------------

@@ -66,7 +66,38 @@ from repro.heaps.binary_heap import AddressableMaxHeap
 from repro.heaps.columnar import ColumnarFrontier
 from repro.heaps.two_level import TwoLevelHeap
 
-__all__ = ["LazyGreedySelector", "SEED_ISOLATED", "SEED_MARGINAL"]
+__all__ = ["LazyGreedySelector", "SEED_ISOLATED", "SEED_MARGINAL",
+           "build_columnar_frontier"]
+
+
+def build_columnar_frontier(compiled, strategy: Strategy,
+                            allowed_times: Optional[Iterable[int]]
+                            ) -> ColumnarFrontier:
+    """Bulk-build the isolated-seeded G-Greedy frontier over a compilation.
+
+    One vectorized pass: seed priorities are the compiled
+    ``(n_pairs, T)`` isolated-revenue matrix, masked to positive entries
+    (submodularity: non-positive seeds can never be admitted), to the
+    ``allowed_times`` whitelist (out-of-range times match no candidate,
+    exactly like the per-triple path's membership filter), and away from
+    triples already in ``strategy``.  Shared by the serial columnar seeding
+    and the sharded solver's per-shard workers -- the single definition of
+    the seeding rule, so the two paths cannot drift.
+    """
+    priorities = compiled.isolated_revenues()
+    seeded = priorities > 0.0
+    if allowed_times is not None:
+        mask = np.zeros(compiled.horizon, dtype=bool)
+        mask[[t for t in allowed_times if 0 <= t < compiled.horizon]] = True
+        seeded &= mask[None, :]
+    for triple in strategy:
+        row = compiled.pair_row(triple.user, triple.item)
+        if row >= 0 and 0 <= triple.t < compiled.horizon:
+            seeded[row, triple.t] = False
+    return ColumnarFrontier(
+        compiled.pair_user, compiled.pair_item, priorities, seeded,
+        row_lookup=compiled.pair_row,
+    )
 
 
 class _ZeroFlags(dict):
@@ -138,6 +169,15 @@ class LazyGreedySelector:
             with ``candidates=None`` (default).  ``False`` forces the
             per-triple seeding loop -- the pre-compilation engine, kept for
             ablations and the scalability benchmarks.
+        shards: partition users into this many contiguous CSR shards and run
+            the selection across worker processes (:mod:`repro.shard`);
+            ``0`` means one shard per CPU core.  Only the paper-default
+            columnar configuration is sharded (isolated seeds, lazy forward,
+            two-level frontier, numpy backend, whole ground set); anything
+            else, and ``None``/``1``, runs the serial loop.  Sharded and
+            serial selection admit bit-identical triples.
+        jobs: worker processes for the sharded path (default: one per
+            shard, capped at the core count; ``1``: all shards in-process).
     """
 
     def __init__(self, instance: RevMaxInstance, model: RevenueModel,
@@ -149,6 +189,8 @@ class LazyGreedySelector:
                  max_selections: Optional[int] = None,
                  on_admit: Optional[Callable[[Triple, float], None]] = None,
                  use_compiled: Optional[bool] = None,
+                 shards: Optional[int] = None,
+                 jobs: Optional[int] = None,
                  ) -> None:
         if seed_priorities not in (SEED_ISOLATED, SEED_MARGINAL):
             raise ValueError(
@@ -165,6 +207,8 @@ class LazyGreedySelector:
         self._max_selections = max_selections
         self._on_admit = on_admit
         self._use_compiled = use_compiled if use_compiled is not None else True
+        self._shards = shards
+        self._jobs = jobs
 
     # ------------------------------------------------------------------
     # public entry point
@@ -196,6 +240,9 @@ class LazyGreedySelector:
         Returns:
             The number of triples admitted.
         """
+        if candidates is None and self._sharded_eligible():
+            return self._select_sharded(strategy, allowed_times,
+                                        growth_curve, initial_revenue)
         heap, flags, group_keys = self._seed(strategy, candidates,
                                              allowed_times)
         if initial_revenue is None:
@@ -258,6 +305,45 @@ class LazyGreedySelector:
             and self._model.backend == "numpy"
         )
 
+    def _sharded_eligible(self) -> bool:
+        """Sharding covers the columnar configuration with a compatible gain.
+
+        The sharded workers rebuild the selection (and, for GlobalNo, the
+        true) model from shard tensors plus a beta vector; the shared
+        :func:`repro.shard.sharding_compatible` predicate decides whether
+        that reconstruction is faithful -- anything more exotic falls back
+        to the serial loop.
+        """
+        shards = self._shards
+        if shards is None or shards == 1 or not self._columnar_eligible():
+            return False
+        # Imported lazily, like _select_sharded: the serial path must not
+        # depend on the multiprocessing machinery.
+        from repro.shard import sharding_compatible
+
+        return sharding_compatible(self._instance, self._model,
+                                   self._true_model)
+
+    def _select_sharded(self, strategy: Strategy,
+                        allowed_times: Optional[Iterable[int]],
+                        growth_curve: Optional[List[Tuple[int, float]]],
+                        initial_revenue: Optional[float]) -> int:
+        """Run the admit loop across shard workers (:mod:`repro.shard`)."""
+        # Imported lazily: the serial path must not pay for (or depend on)
+        # the multiprocessing machinery.
+        from repro.shard import ShardedGreedySolver
+
+        solver = ShardedGreedySolver(
+            self._instance, self._model, self._checker,
+            shards=self._shards, jobs=self._jobs,
+            true_model=self._true_model,
+            max_selections=self._max_selections,
+            on_admit=self._on_admit,
+        )
+        return solver.select(strategy, allowed_times,
+                             growth_curve=growth_curve,
+                             initial_revenue=initial_revenue)
+
     def _seed(self, strategy: Strategy,
               candidates: Optional[Iterable[Triple]],
               allowed_times: Optional[Iterable[int]]):
@@ -311,28 +397,13 @@ class LazyGreedySelector:
 
         Isolated seed priorities are read straight off the compiled
         instance's ``(n_pairs, T)`` isolated-revenue matrix; the two-level
-        frontier is bulk-built from the same arrays.  No per-candidate
-        Python object exists until a candidate's group is actually touched
-        by the selection loop.
+        frontier is bulk-built from the same arrays by
+        :func:`build_columnar_frontier`.  No per-candidate Python object
+        exists until a candidate's group is actually touched by the
+        selection loop.
         """
-        compiled = self._instance.compiled()
-        priorities = compiled.isolated_revenues()
-        # Submodularity: non-positive isolated seeds can never be admitted.
-        seeded = priorities > 0.0
-        if allowed_times is not None:
-            mask = np.zeros(compiled.horizon, dtype=bool)
-            # Out-of-range times simply match no candidate, exactly like the
-            # per-triple path's `z.t in allowed` filter (negative values
-            # must not wrap around).
-            mask[[t for t in allowed_times if 0 <= t < compiled.horizon]] = True
-            seeded &= mask[None, :]
-        for triple in strategy:
-            row = compiled.pair_row(triple.user, triple.item)
-            if row >= 0 and 0 <= triple.t < compiled.horizon:
-                seeded[row, triple.t] = False
-        frontier = ColumnarFrontier(
-            compiled.pair_user, compiled.pair_item, priorities, seeded,
-            row_lookup=compiled.pair_row,
+        frontier = build_columnar_frontier(
+            self._instance.compiled(), strategy, allowed_times
         )
         return frontier, _ZeroFlags(), _FrontierGroupKeys(frontier)
 

@@ -170,6 +170,7 @@ def standard_algorithms(
     seed: int = 0,
     backend: Optional[str] = None,
     rl_jobs: Optional[int] = None,
+    gg_shards: Optional[int] = None,
 ) -> List[RevMaxAlgorithm]:
     """Build the six-algorithm suite the paper's figures compare.
 
@@ -186,10 +187,14 @@ def standard_algorithms(
             (``None``: serial).  Leave unset when the whole suite already
             runs under ``run_algorithms(jobs=...)`` -- nesting pools wins
             nothing.
+        gg_shards: user shards for G-Greedy / GlobalNo's sharded selection
+            (:mod:`repro.shard`; ``None``: serial, ``0``: one per core).
+            Bit-identical results either way; the same nesting caveat as
+            ``rl_jobs`` applies.
     """
     suite: Dict[str, RevMaxAlgorithm] = {
-        "GG": GlobalGreedy(backend=backend),
-        "GG-No": GlobalGreedyNoSaturation(backend=backend),
+        "GG": GlobalGreedy(backend=backend, shards=gg_shards),
+        "GG-No": GlobalGreedyNoSaturation(backend=backend, shards=gg_shards),
         "RLG": RandomizedLocalGreedy(num_permutations=rl_permutations, seed=seed,
                                      backend=backend, jobs=rl_jobs),
         "SLG": SequentialLocalGreedy(backend=backend),

@@ -52,6 +52,8 @@ __all__ = [
     "load_instance",
     "save_instance_npz",
     "load_instance_npz",
+    "load_compiled_npz",
+    "attach_instance_shard",
     "strategy_to_dict",
     "strategy_from_dict",
     "save_strategy",
@@ -212,19 +214,8 @@ def _mmap_npz_members(path: Path) -> Optional[Dict[str, np.ndarray]]:
     return arrays
 
 
-def load_instance_npz(path: _PathLike, mmap: bool = True) -> RevMaxInstance:
-    """Read a columnar instance from ``.npz``; tensors memory-mapped by default.
-
-    Args:
-        path: archive written by :func:`save_instance_npz`.
-        mmap: map the tensors read-only straight out of the archive
-            (``False`` or a compressed archive reads them into memory).
-
-    Returns:
-        A columnar-backed :class:`~repro.core.problem.RevMaxInstance`; its
-        ``compiled()`` is free and no pair dict exists.
-    """
-    path = Path(path)
+def _load_npz_arrays(path: Path, mmap: bool) -> Dict[str, np.ndarray]:
+    """Load (memory-mapping when possible) and type-check an archive."""
     arrays = _mmap_npz_members(path) if mmap else None
     if arrays is None:
         with np.load(path, allow_pickle=False) as archive:
@@ -239,6 +230,11 @@ def load_instance_npz(path: _PathLike, mmap: bool = True) -> RevMaxInstance:
         raise ValueError(
             f"unsupported format version {version!r} (supported: {FORMAT_VERSION})"
         )
+    return arrays
+
+
+def _compiled_from_arrays(arrays: Dict[str, np.ndarray],
+                          path: Path) -> CompiledInstance:
     compiled = CompiledInstance(
         num_users=int(arrays["num_users"]),
         horizon=int(arrays["horizon"]),
@@ -255,6 +251,51 @@ def load_instance_npz(path: _PathLike, mmap: bool = True) -> RevMaxInstance:
         # defeat the lazy memory mapping.
         validate=False,
     )
+    compiled.source_path = str(path)
+    return compiled
+
+
+def load_compiled_npz(path: _PathLike, mmap: bool = True) -> CompiledInstance:
+    """Read the bare :class:`CompiledInstance` out of a ``.npz`` archive.
+
+    The tensors are memory-mapped by default, so this costs a few page
+    faults regardless of the archive size; ``source_path`` is recorded on
+    the compilation so downstream consumers (the sharded solver's workers)
+    can re-attach by path instead of shipping tensors around.
+    """
+    path = Path(path)
+    return _compiled_from_arrays(_load_npz_arrays(path, mmap), path)
+
+
+def attach_instance_shard(path: _PathLike, user_start: int,
+                          user_stop: int) -> CompiledInstance:
+    """Attach to one user shard of a saved instance, by path + range.
+
+    This is the worker-process entry point of the sharded solver's ``.npz``
+    backing: the archive is memory-mapped (never deserialized wholesale) and
+    the returned compilation holds zero-copy row slices covering users
+    ``[user_start, user_stop)`` -- reading a shard of a multi-gigabyte
+    instance pages in only that shard's rows.  User ids stay global; see
+    :meth:`repro.core.compiled.CompiledInstance.shard`.
+    """
+    return load_compiled_npz(path, mmap=True).shard(user_start, user_stop)
+
+
+def load_instance_npz(path: _PathLike, mmap: bool = True) -> RevMaxInstance:
+    """Read a columnar instance from ``.npz``; tensors memory-mapped by default.
+
+    Args:
+        path: archive written by :func:`save_instance_npz`.
+        mmap: map the tensors read-only straight out of the archive
+            (``False`` or a compressed archive reads them into memory).
+
+    Returns:
+        A columnar-backed :class:`~repro.core.problem.RevMaxInstance`; its
+        ``compiled()`` is free and no pair dict exists.
+    """
+    path = Path(path)
+    arrays = _load_npz_arrays(path, mmap)
+    compiled = _compiled_from_arrays(arrays, path)
     class_names = {
         int(k): v
         for k, v in json.loads(str(arrays.get("class_names_json", "{}"))).items()

@@ -27,7 +27,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Tuple, TypeVar
 
-__all__ = ["default_jobs", "parallel_map"]
+__all__ = ["default_jobs", "parallel_map", "pool_context"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -38,12 +38,21 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def _pool_context():
-    """Prefer ``fork`` (inherits sys.path / loaded modules) when available."""
+def pool_context():
+    """Prefer ``fork`` (inherits sys.path / loaded modules) when available.
+
+    Shared by every multi-process path in the repo -- the experiment runners
+    below and the sharded solver's persistent workers
+    (:mod:`repro.shard`) -- so they all follow the same fork-first policy.
+    """
     methods = multiprocessing.get_all_start_methods()
     if "fork" in methods:
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
+
+
+#: Backwards-compatible private alias (pre-shard-solver name).
+_pool_context = pool_context
 
 
 def parallel_map(

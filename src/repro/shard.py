@@ -1,0 +1,828 @@
+"""Sharded shared-memory G-Greedy: user-partitioned selection across processes.
+
+The serial columnar path (PR 3) made one core fast; this module makes the
+same selection *scale across cores* without changing a single admitted
+triple.  It exploits the structure of the revenue model: saturation and
+competition couple triples only within one (user, class) group
+(Definition 1), and the display constraint is per (user, time) -- so every
+quantity the greedy loop computes, except the per-item capacity audit, is
+**user-local**.  That yields the classic shared-nothing-reads /
+coordinated-admission split of parallel database executors:
+
+* **users are partitioned into K contiguous CSR shards** (balanced by pair
+  count, :func:`shard_user_ranges`);
+* each **worker process attaches to the compiled tensors zero-copy** --
+  through :class:`SharedTensors` (``multiprocessing.shared_memory``) for
+  in-memory instances, or by memory-mapping the saved ``.npz`` for on-disk
+  ones (:func:`repro.io.attach_instance_shard`) -- slices out its rows, and
+  runs a shard-local :class:`~repro.heaps.columnar.ColumnarFrontier`, lazy
+  forward refreshes, display checks and revenue models over *its* users;
+* a **coordinator owns the global admit loop**: it repeatedly takes the best
+  worker proposal (ties broken by global CSR row, exactly the serial upper
+  heap's rule), audits the centralized constraints (item capacities / any
+  :class:`~repro.core.constraints.ConstraintChecker`), and routes
+  admissions and capacity drops back to the owning worker.
+
+Bit-identical by construction
+-----------------------------
+The coordinator executes the *same* peek / discard / refresh / admit
+sequence as :meth:`repro.core.selection.LazyGreedySelector.select` over a
+frontier that happens to be partitioned:
+
+* priorities, refreshed marginal values and admission gains are computed on
+  the same float tensors with the same kernels, so every value is the bit
+  the serial path would produce;
+* the global top is ``max`` over shard-local tops ordered by
+  ``(-priority, global_row)`` -- the serial frontier's lazy-deletion heap
+  resolves to exactly that ordering, and within a row the shard's lower
+  heap is the serial lower heap;
+* workers may refresh or display-discard *their local* top before it
+  becomes the global top (saving a round trip), which is sound: a refresh
+  between two admissions writes the same value whenever it runs (the
+  candidate's group is frozen in between), and a display-blocked candidate
+  stays blocked forever, so dropping it early removes nothing admissible.
+
+``tests/test_shard.py`` asserts triple-for-triple, curve-for-curve equality
+against the serial path on both backings; ``benchmarks/test_sharded_scale.py``
+gates the wall-clock win at 250k users / 2.5M pairs.
+
+Usage
+-----
+Callers normally reach this module through ``GlobalGreedy(shards=4)``,
+``LazyGreedySelector(..., shards=4, jobs=4)`` or the CLI's
+``repro solve --shards 4``; :class:`ShardedGreedySolver` is the underlying
+engine.  ``jobs=1`` runs every shard in-process (no subprocesses) -- same
+results, trivially debuggable.
+"""
+
+from __future__ import annotations
+
+import traceback
+from multiprocessing import shared_memory
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.compiled import CompiledInstance
+from repro.core.constraints import ConstraintChecker
+from repro.core.entities import Triple
+from repro.core.problem import RevMaxInstance
+from repro.core.revenue import RevenueModel
+# Seeding and freshness semantics must stay the single definitions the
+# serial loop uses, or the two paths could drift apart bit by bit.
+from repro.core.selection import _ZeroFlags, build_columnar_frontier
+from repro.core.strategy import Strategy
+from repro.parallel import default_jobs, pool_context
+
+__all__ = [
+    "shard_user_ranges",
+    "sharding_compatible",
+    "SharedTensors",
+    "ShardedGreedySolver",
+    "ShardWorkerError",
+]
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker process failed or died; the message says how."""
+
+
+# ----------------------------------------------------------------------
+# user partitioning
+# ----------------------------------------------------------------------
+def shard_user_ranges(user_ptr: np.ndarray,
+                      shards: int) -> List[Tuple[int, int]]:
+    """Partition users into ``shards`` contiguous ranges balanced by pairs.
+
+    Returns exactly ``shards`` half-open ranges ``[start, stop)`` that tile
+    ``[0, num_users)`` in order.  Boundaries are placed so each shard holds
+    roughly ``num_pairs / shards`` CSR rows (users are never split).  Ranges
+    may be empty when ``shards`` exceeds the number of users or when runs of
+    users have no candidates -- workers handle empty shards as trivially
+    exhausted frontiers.
+    """
+    if shards <= 0:
+        raise ValueError(f"shards must be positive, got {shards}")
+    user_ptr = np.asarray(user_ptr)
+    num_users = int(user_ptr.shape[0]) - 1
+    total_pairs = int(user_ptr[-1])
+    targets = np.arange(1, shards) * (total_pairs / shards)
+    cuts = np.searchsorted(user_ptr, targets, side="left")
+    bounds = np.concatenate(([0], np.clip(cuts, 0, num_users), [num_users]))
+    bounds = np.maximum.accumulate(bounds)
+    return [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])]
+
+
+def _rebuildable_from(instance: RevMaxInstance, model_instance) -> bool:
+    """True when ``model_instance`` is ``instance``'s tensors plus betas."""
+    return model_instance is instance or (
+        model_instance.adoption is instance.adoption
+        and model_instance.prices is instance.prices
+        and model_instance.catalog is instance.catalog
+    )
+
+
+def sharding_compatible(instance: RevMaxInstance, model: RevenueModel,
+                        true_model: Optional[RevenueModel] = None) -> bool:
+    """Can this (instance, models) combination run sharded?
+
+    Workers rebuild every model as a plain :class:`RevenueModel` from the
+    solved instance's tensors plus a beta vector, so both the selection
+    model and a true model, if any, must *be* plain ``RevenueModel``s
+    (subclasses carry overridden revenue semantics the reconstruction would
+    silently discard) and must share that instance's adoption table, prices
+    and catalog (the GlobalNo shape); a true model must additionally score
+    on the numpy backend the workers use.  The single compatibility
+    definition: the selection engine falls back to the serial loop when
+    this returns False, and :class:`ShardedGreedySolver` rejects direct
+    misuse against it.
+    """
+    if type(model) is not RevenueModel:
+        return False
+    if not _rebuildable_from(instance, model.instance):
+        return False
+    if true_model is not None:
+        if (type(true_model) is not RevenueModel
+                or true_model.backend != "numpy"):
+            return False
+        if not _rebuildable_from(model.instance, true_model.instance):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# zero-copy tensor transport
+# ----------------------------------------------------------------------
+#: Tensors a worker needs to rebuild a CompiledInstance.
+_TENSOR_FIELDS = ("user_ptr", "pair_item", "pair_probs", "prices",
+                  "capacities", "betas", "item_class")
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment without enrolling it in the resource tracker.
+
+    Only the publishing process owns the segment's lifetime; an attaching
+    worker must not enroll a segment it merely reads (under ``fork`` the
+    tracker process is *shared*, so a worker's registration -- or
+    unregistration -- would corrupt the publisher's bookkeeping).  Python
+    3.13 exposes ``track=False`` for exactly this; earlier versions need
+    registration suppressed around the attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedTensors:
+    """Publish a compilation's tensors as ``multiprocessing.shared_memory``.
+
+    The publisher copies each tensor into an anonymous segment once;
+    workers then attach by name and wrap zero-copy ndarray views, so K
+    workers share one physical copy of the candidate table no matter how
+    the coordinator's arrays were allocated.  The publisher must outlive
+    the workers and call :meth:`close` exactly once (unlinks the segments).
+    """
+
+    def __init__(self, compiled: CompiledInstance) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        tensors: Dict[str, Tuple[str, Tuple[int, ...], str]] = {}
+        try:
+            for field in _TENSOR_FIELDS:
+                array = np.ascontiguousarray(getattr(compiled, field))
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(1, array.nbytes)
+                )
+                self._segments.append(segment)
+                view = np.ndarray(array.shape, dtype=array.dtype,
+                                  buffer=segment.buf)
+                view[...] = array
+                tensors[field] = (segment.name, array.shape, array.dtype.str)
+        except BaseException:
+            self.close()
+            raise
+        self.handle = {
+            "backing": "shm",
+            "tensors": tensors,
+            "num_users": compiled.num_users,
+            "horizon": compiled.horizon,
+            "display_limit": compiled.display_limit,
+            "name": compiled.name,
+        }
+
+    def close(self) -> None:
+        """Release and unlink every segment (idempotent)."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        self._segments = []
+
+    @staticmethod
+    def attach(handle: Dict) -> CompiledInstance:
+        """Rebuild the full compilation from a publisher's handle (worker side).
+
+        The returned instance's tensors are views straight into the shared
+        segments -- nothing is copied.  The segment objects are pinned on
+        the compilation (``_shm_keepalive``) so the mappings outlive any
+        ndarray views handed out.
+        """
+        segments = []
+        arrays = {}
+        for field, (name, shape, dtype) in handle["tensors"].items():
+            segment = _attach_segment(name)
+            segments.append(segment)
+            arrays[field] = np.ndarray(tuple(shape), dtype=np.dtype(dtype),
+                                       buffer=segment.buf)
+        compiled = CompiledInstance(
+            num_users=handle["num_users"],
+            horizon=handle["horizon"],
+            display_limit=handle["display_limit"],
+            name=handle["name"],
+            validate=False,
+            **arrays,
+        )
+        compiled._shm_keepalive = segments
+        return compiled
+
+
+def _attach_shards(handle: Dict, shard_specs: List[Dict]) -> List["_ShardState"]:
+    """Attach to the published tensors and build one state per shard spec.
+
+    Shared-memory backing attaches the full tensors once and slices a view
+    per shard; ``.npz`` backing goes through
+    :func:`repro.io.attach_instance_shard`, memory-mapping each shard's
+    rows by path + user range without ever holding a full deserialized
+    instance.
+    """
+    backing = handle["backing"]
+    if backing == "shm":
+        full = SharedTensors.attach(handle)
+        views = []
+        for spec in shard_specs:
+            view = full.shard(spec["user_start"], spec["user_stop"])
+            # The slices alias the full attachment's segment mappings;
+            # pinning the attachment keeps them mapped for the view's life.
+            view._shm_keepalive = full
+            views.append(view)
+    elif backing == "npz":
+        from repro.io import attach_instance_shard
+
+        views = [
+            attach_instance_shard(handle["path"], spec["user_start"],
+                                  spec["user_stop"])
+            for spec in shard_specs
+        ]
+    else:
+        raise ValueError(f"unknown shard backing {backing!r}")
+    return [
+        _ShardState(
+            view, spec["user_start"], spec["user_stop"],
+            selection_betas=spec["selection_betas"],
+            true_betas=spec["true_betas"],
+            allowed_times=spec["allowed_times"],
+            initial_triples=spec["initial_triples"],
+        )
+        for view, spec in zip(views, shard_specs)
+    ]
+
+
+# ----------------------------------------------------------------------
+# shard-local selection state (runs inside workers)
+# ----------------------------------------------------------------------
+class _ShardState:
+    """Frontier + models + strategy of one contiguous user range.
+
+    This is the worker-resident half of the selection loop: everything
+    :class:`~repro.core.selection.LazyGreedySelector` does *except* the
+    centralized capacity audit and the global argmax, restricted to the
+    shard's users.  ``proposal()`` surfaces the shard's best fresh,
+    display-feasible candidate as ``(priority, global_row, user, item, t)``.
+    """
+
+    def __init__(self, shard: CompiledInstance, user_start: int,
+                 user_stop: int, *,
+                 selection_betas: Optional[np.ndarray],
+                 true_betas: Optional[np.ndarray],
+                 allowed_times: Optional[Sequence[int]],
+                 initial_triples: Sequence[Tuple[int, int, int]]) -> None:
+        self.user_start = int(user_start)
+        self.user_stop = int(user_stop)
+        self.row_offset = int(shard.shard_row_offset)
+        # Derived instances (beta swaps below) alias the attachment's
+        # mappings without carrying its keepalive; the state owns the
+        # original view so the segments stay mapped for its whole life.
+        self._attached = shard
+        if selection_betas is not None:
+            shard = shard.replace(betas=np.asarray(selection_betas,
+                                                   dtype=np.float64))
+        self.compiled = shard
+        self.instance: RevMaxInstance = shard.as_instance()
+        self.model = RevenueModel(self.instance, backend="numpy")
+        self.true_model: Optional[RevenueModel] = None
+        if true_betas is not None:
+            true_instance = shard.replace(
+                betas=np.asarray(true_betas, dtype=np.float64)
+            ).as_instance()
+            self.true_model = RevenueModel(true_instance, backend="numpy")
+        self.strategy = Strategy(self.instance.catalog)
+        for user, item, t in initial_triples:
+            self.strategy.add(Triple(user, item, t))
+        self.frontier = build_columnar_frontier(self.compiled, self.strategy,
+                                                allowed_times)
+        self.flags = _ZeroFlags()
+        self._cached_proposal = None
+        self._dirty = True
+
+    def owns(self, user: int) -> bool:
+        """True when ``user`` falls in this shard's range."""
+        return self.user_start <= user < self.user_stop
+
+    # -- the shard-local slice of the serial selection loop ------------
+    def proposal(self) -> Optional[Tuple[float, int, int, int, int]]:
+        """Best fresh, display-feasible candidate of this shard (cached).
+
+        Replays the serial loop's display-discard and lazy-refresh steps on
+        the local frontier until the local top is clean, then reports it
+        with its *global* row for cross-shard tie-breaking.  Non-positive
+        tops are still reported: whether they end the run is the
+        coordinator's call (everything else might be non-positive too).
+        """
+        if not self._dirty:
+            return self._cached_proposal
+        frontier = self.frontier
+        instance = self.instance
+        limit = instance.display_limit
+        while frontier:
+            triple, priority, row = frontier.peek_with_row()
+            if self.strategy.display_count(triple.user, triple.t) >= limit:
+                # Display-blocked stays blocked forever (admissions are never
+                # retracted): dropping early loses nothing admissible.
+                frontier.discard(triple)
+                continue
+            freshness = self.strategy.group_size(
+                triple.user, instance.class_of(triple.item)
+            )
+            if self.flags[triple] != freshness:
+                self._refresh_group(triple, freshness)
+                continue
+            self._cached_proposal = (
+                float(priority), self.row_offset + row,
+                int(triple.user), int(triple.item), int(triple.t),
+            )
+            self._dirty = False
+            return self._cached_proposal
+        self._cached_proposal = None
+        self._dirty = False
+        return None
+
+    def _refresh_group(self, triple: Triple, freshness: int) -> None:
+        """Batch-rescore the popped candidate's whole (user, item) heap."""
+        members = self.frontier.group_members((triple.user, triple.item))
+        stale = [candidate for candidate in members
+                 if candidate in self.frontier]
+        values = self.model.marginal_revenue_batch(self.strategy, stale)
+        for candidate, value in zip(stale, values):
+            self.flags[candidate] = freshness
+            self.frontier.update(candidate, value)
+
+    def admit(self, triple: Triple, priority: float) -> float:
+        """Record an admission decided by the coordinator; return the gain."""
+        gain = (
+            priority if self.true_model is None
+            else self.true_model.marginal_revenue(self.strategy, triple)
+        )
+        self.strategy.add(triple)
+        self.frontier.discard(triple)
+        self._dirty = True
+        return float(gain)
+
+    def discard(self, triple: Triple) -> None:
+        """Drop one candidate (coordinator-detected display block)."""
+        self.frontier.discard(triple)
+        self._dirty = True
+
+    def drop_group(self, user: int, item: int) -> None:
+        """Drop a whole (user, item) row (coordinator-detected capacity block)."""
+        self.frontier.drop_group((user, item))
+        self._dirty = True
+
+    def counters(self) -> Tuple[int, int, int]:
+        """(evaluations, cache_hits, lookups) of the shard's selection model."""
+        return (self.model.evaluations, self.model.cache_hits,
+                self.model.lookups)
+
+
+def _best_over(shards: Sequence[_ShardState]
+               ) -> Optional[Tuple[float, int, int, int, int]]:
+    """Best proposal across a worker's shards, serial tie-breaking."""
+    best = None
+    for state in shards:
+        top = state.proposal()
+        if top is None:
+            continue
+        if best is None or (-top[0], top[1]) < (-best[0], best[1]):
+            best = top
+    return best
+
+
+def _route(shards: Sequence[_ShardState], user: int) -> _ShardState:
+    for state in shards:
+        if state.owns(user):
+            return state
+    raise ValueError(f"no shard in this worker owns user {user}")
+
+
+# ----------------------------------------------------------------------
+# worker processes
+# ----------------------------------------------------------------------
+def _dispatch(shards: Sequence[_ShardState], message: Tuple):
+    """Serve one coordinator command against a worker's shards.
+
+    The single protocol implementation: the forked worker loop and the
+    in-process ``jobs=1`` worker both dispatch through here, so the two
+    modes cannot drift apart.
+    """
+    command = message[0]
+    if command == "admit":
+        _, (user, item, t), priority = message
+        gain = _route(shards, user).admit(Triple(user, item, t), priority)
+        return ("admitted", gain, _best_over(shards))
+    if command == "discard":
+        _, (user, item, t) = message
+        _route(shards, user).discard(Triple(user, item, t))
+        return ("top", _best_over(shards))
+    if command == "drop_group":
+        _, (user, item) = message
+        _route(shards, user).drop_group(user, item)
+        return ("top", _best_over(shards))
+    if command == "stats":
+        totals = [0, 0, 0]
+        for state in shards:
+            for index, value in enumerate(state.counters()):
+                totals[index] += value
+        return ("stats", tuple(totals))
+    raise ValueError(f"unknown shard command {command!r}")
+
+
+def _worker_main(conn, handle: Dict, shard_specs: List[Dict]) -> None:
+    """Persistent worker loop: attach, seed, then serve coordinator commands.
+
+    Every reply is a tagged tuple; any exception is caught and shipped back
+    as ``("error", traceback)`` so the coordinator can surface it verbatim.
+    """
+    try:
+        shards = _attach_shards(handle, shard_specs)
+        conn.send(("ready", _best_over(shards)))
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                conn.send(("stopped",))
+                return
+            conn.send(_dispatch(shards, message))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - coordinator already gone
+            pass
+    finally:
+        conn.close()
+
+
+class _ProcessWorker:
+    """Coordinator-side proxy of one worker process."""
+
+    def __init__(self, context, index: int, handle: Dict,
+                 shard_specs: List[Dict]) -> None:
+        self.index = index
+        self.connection, child = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_worker_main, args=(child, handle, shard_specs),
+            name=f"repro-shard-{index}", daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def request(self, *message):
+        self.connection.send(message)
+        return self.receive()
+
+    def send(self, *message) -> None:
+        self.connection.send(message)
+
+    def receive(self):
+        try:
+            reply = self.connection.recv()
+        except (EOFError, OSError) as error:
+            exitcode = self.process.exitcode
+            raise ShardWorkerError(
+                f"shard worker {self.index} (pid {self.process.pid}) died "
+                f"unexpectedly (exit code {exitcode}); its shard state is "
+                f"lost -- re-run the solve"
+            ) from error
+        if reply[0] == "error":
+            raise ShardWorkerError(
+                f"shard worker {self.index} (pid {self.process.pid}) "
+                f"failed:\n{reply[1]}"
+            )
+        return reply
+
+    def shutdown(self) -> None:
+        try:
+            self.connection.send(("stop",))
+            self.connection.recv()
+        except Exception:
+            pass
+        self.connection.close()
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+
+
+class _LocalWorker:
+    """In-process stand-in for a worker (``jobs=1``): same protocol, no fork."""
+
+    def __init__(self, index: int, compiled: CompiledInstance,
+                 shard_specs: List[Dict]) -> None:
+        self.index = index
+        self._shards = [
+            _ShardState(
+                compiled.shard(spec["user_start"], spec["user_stop"]),
+                spec["user_start"], spec["user_stop"],
+                selection_betas=spec["selection_betas"],
+                true_betas=spec["true_betas"],
+                allowed_times=spec["allowed_times"],
+                initial_triples=spec["initial_triples"],
+            )
+            for spec in shard_specs
+        ]
+
+    def receive(self):
+        return ("ready", _best_over(self._shards))
+
+    def request(self, *message):
+        return _dispatch(self._shards, message)
+
+    def shutdown(self) -> None:
+        self._shards = []
+
+
+# ----------------------------------------------------------------------
+# the coordinator
+# ----------------------------------------------------------------------
+class ShardedGreedySolver:
+    """Global admit loop over K user shards scored in worker processes.
+
+    Drop-in for the columnar branch of
+    :meth:`repro.core.selection.LazyGreedySelector.select` (whole ground
+    set, isolated seeds, lazy forward): same arguments, same in-place
+    strategy mutation, same growth curve -- and the same admitted triples,
+    bit for bit.
+
+    Args:
+        instance: the REVMAX instance (its compilation is what gets shared).
+        model: the selection model (supplies the selection instance's betas
+            and receives the workers' aggregated work counters).
+        checker: the centralized constraint authority; the coordinator
+            audits every proposed admission against the *global* strategy.
+        shards: number of contiguous user partitions (``0``: one per core).
+        jobs: worker processes (default: one per shard, capped by
+            :func:`repro.parallel.default_jobs`).  ``1`` runs all shards
+            in-process.  Shards are distributed contiguously over workers;
+            the partitioning never changes the result, only the balance.
+        true_model: optional model whose marginal revenue is the *reported*
+            gain (the GlobalNo baseline).  Must share the selection
+            instance's adoption table, prices and catalog -- workers rebuild
+            it shard-locally from its betas.
+        max_selections: absolute cap on the strategy size.
+        on_admit: ``(triple, gain)`` callback after every admission.
+        backing: ``"shm"``, ``"npz"`` or ``None`` (auto: ``"npz"`` when the
+            compilation was loaded from an ``.npz`` archive, else ``"shm"``).
+        npz_path: archive path for ``backing="npz"`` (default: the
+            compilation's recorded ``source_path``).
+    """
+
+    def __init__(self, instance: RevMaxInstance, model: RevenueModel,
+                 checker: ConstraintChecker, *, shards: int,
+                 jobs: Optional[int] = None,
+                 true_model: Optional[RevenueModel] = None,
+                 max_selections: Optional[int] = None,
+                 on_admit: Optional[Callable[[Triple, float], None]] = None,
+                 backing: Optional[str] = None,
+                 npz_path: Optional[str] = None) -> None:
+        self._instance = instance
+        self._model = model
+        self._checker = checker
+        self._true_model = true_model
+        self._max_selections = max_selections
+        self._on_admit = on_admit
+        self._shards = default_jobs() if shards == 0 else int(shards)
+        if self._shards <= 0:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if jobs is None or jobs == 0:
+            jobs = min(self._shards, default_jobs())
+        self._jobs = max(1, min(int(jobs), self._shards))
+        if backing not in (None, "shm", "npz"):
+            raise ValueError(f"unknown shard backing {backing!r}")
+        self._backing = backing
+        self._npz_path = npz_path
+
+    # ------------------------------------------------------------------
+    def select(self, strategy: Strategy,
+               allowed_times: Optional[Iterable[int]] = None, *,
+               growth_curve: Optional[List[Tuple[int, float]]] = None,
+               initial_revenue: Optional[float] = None) -> int:
+        """Greedily admit candidates into ``strategy`` across the shards.
+
+        Same contract as ``LazyGreedySelector.select`` with
+        ``candidates=None``; returns the number of admissions.
+        """
+        compiled = self._instance.compiled()
+        # A misconfigured backing must fail the same way at every job
+        # count, including the in-process mode that never publishes.
+        self._resolve_backing(compiled)
+        ranges = shard_user_ranges(compiled.user_ptr, self._shards)
+        allowed = (
+            tuple(sorted(set(int(t) for t in allowed_times)))
+            if allowed_times is not None else None
+        )
+        selection_betas, true_betas = self._beta_overrides()
+        initial = [
+            (int(z.user), int(z.item), int(z.t)) for z in sorted(strategy)
+        ]
+        specs = [
+            {
+                "user_start": start,
+                "user_stop": stop,
+                "selection_betas": selection_betas,
+                "true_betas": true_betas,
+                "allowed_times": allowed,
+                "initial_triples": [
+                    triple for triple in initial if start <= triple[0] < stop
+                ],
+            }
+            for start, stop in ranges
+        ]
+        published: Optional[SharedTensors] = None
+        workers: List = []
+        try:
+            if self._jobs <= 1:
+                workers = [_LocalWorker(0, compiled, specs)]
+            else:
+                handle, published = self._publish(compiled)
+                context = pool_context()
+                assignments = self._assign(specs, self._jobs)
+                workers = [
+                    _ProcessWorker(context, index, handle, assigned)
+                    for index, assigned in enumerate(assignments)
+                ]
+            # Workers seed their frontiers concurrently during startup; the
+            # "ready" reply doubles as the first proposal.
+            proposals = [worker.receive()[1] for worker in workers]
+            return self._admit_loop(strategy, workers, proposals,
+                                    growth_curve, initial_revenue)
+        finally:
+            for worker in workers:
+                worker.shutdown()
+            if published is not None:
+                published.close()
+
+    # ------------------------------------------------------------------
+    def _beta_overrides(self):
+        """Selection / true beta vectors the workers rebuild models from.
+
+        Workers rebuild each model from the solver instance's tensors plus a
+        beta vector, so both models must share that instance's adoption
+        table, prices and catalog; anything more exotic would silently admit
+        different triples than the serial path and is rejected instead.
+        """
+        selection_instance = self._model.instance
+        if (type(self._model) is not RevenueModel
+                or not _rebuildable_from(self._instance, selection_instance)):
+            raise ValueError(
+                "sharded selection supports a plain RevenueModel differing "
+                "from the solved instance only in betas (the GlobalNo "
+                "shape); run without shards for other selection models"
+            )
+        selection_betas = (
+            None if selection_instance is self._instance
+            else np.asarray(selection_instance.betas, dtype=np.float64)
+        )
+        true_betas = None
+        if self._true_model is not None:
+            if not sharding_compatible(self._instance, self._model,
+                                       self._true_model):
+                raise ValueError(
+                    "sharded selection supports a numpy-backed true_model "
+                    "differing from the selection model only in betas (the "
+                    "GlobalNo shape); run without shards for other true "
+                    "models"
+                )
+            true_betas = np.asarray(self._true_model.instance.betas,
+                                    dtype=np.float64)
+        return selection_betas, true_betas
+
+    def _resolve_backing(self, compiled: CompiledInstance) -> str:
+        """Pick and validate the tensor backing (independent of job count)."""
+        backing = self._backing
+        npz_path = self._npz_path or compiled.source_path
+        if backing is None:
+            backing = "npz" if npz_path is not None else "shm"
+        if backing == "npz" and npz_path is None:
+            raise ValueError(
+                "backing='npz' needs an archive: pass npz_path= or load "
+                "the instance through repro.io.load_instance_npz"
+            )
+        return backing
+
+    def _publish(self, compiled: CompiledInstance):
+        backing = self._resolve_backing(compiled)
+        if backing == "npz":
+            npz_path = self._npz_path or compiled.source_path
+            return {"backing": "npz", "path": str(npz_path)}, None
+        published = SharedTensors(compiled)
+        return published.handle, published
+
+    @staticmethod
+    def _assign(specs: List[Dict], jobs: int) -> List[List[Dict]]:
+        """Distribute shard specs over workers, contiguously and evenly."""
+        jobs = min(jobs, len(specs))
+        base, extra = divmod(len(specs), jobs)
+        assignments, cursor = [], 0
+        for index in range(jobs):
+            count = base + (1 if index < extra else 0)
+            assignments.append(specs[cursor:cursor + count])
+            cursor += count
+        return assignments
+
+    # ------------------------------------------------------------------
+    def _admit_loop(self, strategy: Strategy, workers: List,
+                    proposals: List[Optional[Tuple]],
+                    growth_curve: Optional[List[Tuple[int, float]]],
+                    initial_revenue: Optional[float]) -> int:
+        """The serial admit loop of Algorithm 1, fed by worker proposals."""
+        if initial_revenue is None:
+            initial_revenue = growth_curve[-1][1] if growth_curve else 0.0
+        revenue = initial_revenue
+        admitted = 0
+        instance = self._instance
+        while self._max_selections is None or len(strategy) < self._max_selections:
+            winner = None
+            for index, proposal in enumerate(proposals):
+                if proposal is None:
+                    continue
+                if winner is None or (
+                    (-proposal[0], proposal[1])
+                    < (-proposals[winner][0], proposals[winner][1])
+                ):
+                    winner = index
+            if winner is None:
+                break
+            priority, _, user, item, t = proposals[winner]
+            triple = Triple(user, item, t)
+            if not self._checker.can_add(strategy, triple):
+                # Mirror of LazyGreedySelector._discard_blocked: a display
+                # block kills one candidate, a capacity block the whole row.
+                if (strategy.display_count(user, t)
+                        >= instance.display_limit):
+                    reply = workers[winner].request("discard", (user, item, t))
+                else:
+                    reply = workers[winner].request("drop_group", (user, item))
+                proposals[winner] = reply[1]
+                continue
+            if priority <= 0.0:
+                break
+            reply = workers[winner].request("admit", (user, item, t), priority)
+            gain = reply[1]
+            strategy.add(triple)
+            proposals[winner] = reply[2]
+            admitted += 1
+            revenue += gain
+            if growth_curve is not None:
+                growth_curve.append((len(strategy), revenue))
+            if self._on_admit is not None:
+                self._on_admit(triple, gain)
+        self._collect_stats(workers)
+        return admitted
+
+    def _collect_stats(self, workers: List) -> None:
+        evaluations = cache_hits = lookups = 0
+        for worker in workers:
+            _, (worker_evals, worker_hits, worker_lookups) = (
+                worker.request("stats")
+            )
+            evaluations += worker_evals
+            cache_hits += worker_hits
+            lookups += worker_lookups
+        self._model.absorb_counts(evaluations=evaluations,
+                                  cache_hits=cache_hits, lookups=lookups)

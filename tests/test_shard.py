@@ -1,0 +1,377 @@
+"""Tests for the sharded shared-memory solver (:mod:`repro.shard`).
+
+Three layers of guarantees:
+
+* **partitioning properties** -- :func:`repro.shard.shard_user_ranges`
+  always tiles the user space with exactly K contiguous ranges, whatever
+  the shape of the CSR (one user per shard, more shards than users, runs of
+  candidate-less users, empty tables);
+* **equivalence** -- sharded selection admits the *same triples in the same
+  order with the same gains* as the serial columnar path, across shard /
+  worker counts, both tensor backings (shared memory and memory-mapped
+  ``.npz``), the in-process ``jobs=1`` mode, the GlobalNo true-model shape,
+  and the sub-horizon (``allowed_times`` + initial strategy) setting;
+* **failure surfacing** -- a worker that raises reports its traceback and a
+  worker that dies reports its exit, both as :class:`ShardWorkerError`.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.shard as shard_module
+from repro import io as repro_io
+from repro.algorithms.global_greedy import GlobalGreedy, GlobalGreedyNoSaturation
+from repro.core.constraints import ConstraintChecker
+from repro.core.problem import RevMaxInstance
+from repro.core.revenue import RevenueModel
+from repro.core.selection import SEED_ISOLATED, LazyGreedySelector
+from repro.core.strategy import Strategy
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_columnar
+from repro.shard import (
+    ShardedGreedySolver,
+    ShardWorkerError,
+    shard_user_ranges,
+    sharding_compatible,
+)
+
+
+def _synthetic(num_users: int = 120, seed: int = 3) -> RevMaxInstance:
+    """A columnar instance small enough for many solves, with capacities
+    tight enough that the coordinator's capacity-drop path is exercised."""
+    return generate_synthetic_columnar(SyntheticConfig(
+        num_users=num_users, num_items=40, num_classes=6,
+        candidates_per_user=5, horizon=3, display_limit=2,
+        capacity_fraction=0.05, beta=0.5, seed=seed,
+    ))
+
+
+def _gapped_instance() -> RevMaxInstance:
+    """An instance where whole runs of users have no candidates at all."""
+    adoption = {}
+    for user in (0, 1, 7, 8, 9, 15):  # users 2-6 and 10-14 are empty
+        for item in range(3):
+            adoption[(user, (user + item) % 5)] = [0.3, 0.5]
+    return RevMaxInstance.from_dense_adoption(
+        prices=np.linspace(1.0, 2.0, 10).reshape(5, 2),
+        adoption=adoption,
+        item_class=[0, 0, 1, 1, 2],
+        capacities=2,
+        betas=0.4,
+        display_limit=1,
+        num_users=16,
+        name="gapped",
+    )
+
+
+# ----------------------------------------------------------------------
+# partitioning properties
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("counts", [
+    [],
+    [0],
+    [5],
+    [0, 0, 0],
+    [1, 1, 1, 1, 1],
+    [10, 0, 0, 3, 0, 7],
+    [2, 9, 1, 1, 4, 4, 4, 0, 30],
+])
+@pytest.mark.parametrize("shards", [1, 2, 3, 5, 8, 50])
+def test_shard_user_ranges_tile_the_user_space(counts, shards):
+    user_ptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    ranges = shard_user_ranges(user_ptr, shards)
+    assert len(ranges) == shards
+    cursor = 0
+    for start, stop in ranges:
+        assert start == cursor, "ranges must be contiguous and ordered"
+        assert stop >= start, "ranges must be non-negative"
+        cursor = stop
+    assert cursor == len(counts), "ranges must cover every user exactly once"
+
+
+def test_shard_user_ranges_balance_by_pairs():
+    # One heavy user amid light ones: the heavy user gets a shard roughly to
+    # itself instead of splitting the *user* count evenly.
+    counts = [1, 1, 1, 97, 1, 1, 1]
+    user_ptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    ranges = shard_user_ranges(user_ptr, 3)
+    pair_loads = [int(user_ptr[stop] - user_ptr[start])
+                  for start, stop in ranges]
+    assert max(pair_loads) <= 100  # the heavy user is never split
+    assert any(load >= 97 for load in pair_loads)
+
+
+def test_shard_user_ranges_rejects_non_positive_counts():
+    user_ptr = np.array([0, 2, 4], dtype=np.int64)
+    with pytest.raises(ValueError, match="shards must be positive"):
+        shard_user_ranges(user_ptr, 0)
+
+
+def test_compiled_shard_views_are_global_id_slices():
+    instance = _synthetic(num_users=30)
+    compiled = instance.compiled()
+    shard = compiled.shard(10, 20)
+    assert shard.num_users == compiled.num_users
+    row_offset = int(compiled.user_ptr[10])
+    # Users inside the range resolve to offset rows; outside, to nothing.
+    for user in range(30):
+        for item in instance.candidate_items(user):
+            full_row = compiled.pair_row(user, item)
+            local_row = shard.pair_row(user, item)
+            if 10 <= user < 20:
+                assert local_row == full_row - row_offset
+                assert np.array_equal(shard.pair_probs[local_row],
+                                      compiled.pair_probs[full_row])
+            else:
+                assert local_row == -1
+    with pytest.raises(ValueError, match="invalid shard range"):
+        compiled.shard(5, 50)
+
+
+def test_attach_instance_shard_matches_in_memory_shard(tmp_path):
+    instance = _synthetic(num_users=25)
+    path = tmp_path / "instance.npz"
+    repro_io.save_instance_npz(instance, path)
+    attached = repro_io.attach_instance_shard(path, 5, 15)
+    expected = instance.compiled().shard(5, 15)
+    assert attached.num_pairs == expected.num_pairs
+    assert np.array_equal(attached.user_ptr, expected.user_ptr)
+    assert np.array_equal(np.asarray(attached.pair_probs),
+                          np.asarray(expected.pair_probs))
+
+
+# ----------------------------------------------------------------------
+# serial vs sharded equivalence
+# ----------------------------------------------------------------------
+def _assert_identical(serial_algo, sharded_algo, instance, **run_kwargs):
+    serial_strategy = serial_algo.build_strategy(instance, **run_kwargs)
+    sharded_strategy = sharded_algo.build_strategy(instance, **run_kwargs)
+    assert sharded_strategy.triples() == serial_strategy.triples()
+    assert sharded_algo.last_growth_curve == serial_algo.last_growth_curve
+
+
+@pytest.mark.parametrize("shards,jobs", [
+    (2, 1),   # in-process protocol
+    (3, 2),   # more shards than workers
+    (4, 4),   # one worker per shard
+])
+def test_sharded_matches_serial_shared_memory(shards, jobs):
+    instance = _synthetic()
+    sharded = GlobalGreedy(shards=shards, jobs=jobs)
+    _assert_identical(GlobalGreedy(), sharded, instance)
+    # The coordinator folds the workers' scoring counters back into the
+    # caller's model, so the profiling story survives sharding.
+    assert sharded.last_lookups > 0
+
+
+def test_sharded_matches_serial_npz_backing(tmp_path):
+    instance = _synthetic(seed=11)
+    path = tmp_path / "instance.npz"
+    repro_io.save_instance_npz(instance, path)
+    loaded = repro_io.load_instance_npz(path)
+    assert loaded.compiled().source_path == str(path)
+    _assert_identical(GlobalGreedy(), GlobalGreedy(shards=3, jobs=2), loaded)
+
+
+def test_sharded_matches_serial_on_pipeline_instance(tiny_amazon_pipeline):
+    instance = tiny_amazon_pipeline.instance
+    _assert_identical(GlobalGreedy(), GlobalGreedy(shards=3, jobs=2), instance)
+
+
+def test_sharded_globalno_reports_true_gains():
+    instance = _synthetic(seed=21)
+    _assert_identical(GlobalGreedyNoSaturation(),
+                      GlobalGreedyNoSaturation(shards=3, jobs=2), instance)
+
+
+def test_one_user_per_shard_and_more_shards_than_users():
+    instance = _synthetic(num_users=9, seed=5)
+    _assert_identical(GlobalGreedy(),
+                      GlobalGreedy(shards=9, jobs=2), instance)
+    _assert_identical(GlobalGreedy(),
+                      GlobalGreedy(shards=40, jobs=2), instance)
+
+
+def test_empty_shards_from_candidate_less_users():
+    instance = _gapped_instance()
+    for shards in (4, 16, 25):
+        _assert_identical(GlobalGreedy(),
+                          GlobalGreedy(shards=shards, jobs=2), instance)
+
+
+def test_sharded_sub_horizon_with_initial_strategy():
+    instance = _synthetic(seed=8)
+    serial = GlobalGreedy()
+    sharded = GlobalGreedy(shards=3, jobs=2)
+    serial_first = serial.build_strategy(instance, allowed_times=[0])
+    sharded_first = sharded.build_strategy(instance, allowed_times=[0])
+    assert sharded_first.triples() == serial_first.triples()
+    serial_rest = serial.build_strategy(
+        instance, allowed_times=[1, 2], initial_strategy=serial_first)
+    sharded_rest = sharded.build_strategy(
+        instance, allowed_times=[1, 2], initial_strategy=sharded_first)
+    assert sharded_rest.triples() == serial_rest.triples()
+    assert sharded.last_growth_curve == serial.last_growth_curve
+
+
+def test_sharded_respects_max_selections():
+    instance = _synthetic(seed=13)
+    results = {}
+    for label, selector_kwargs in (
+        ("serial", {}),
+        ("sharded", {"shards": 3, "jobs": 2}),
+    ):
+        model = RevenueModel(instance, backend="numpy")
+        selector = LazyGreedySelector(
+            instance, model, ConstraintChecker(instance),
+            seed_priorities=SEED_ISOLATED, max_selections=10,
+            **selector_kwargs,
+        )
+        strategy = Strategy(instance.catalog)
+        curve = []
+        admitted = selector.select(strategy, None, growth_curve=curve)
+        results[label] = (admitted, strategy.triples(), curve)
+    assert results["serial"][0] == results["sharded"][0] == 10
+    assert results["serial"][1] == results["sharded"][1]
+    assert results["serial"][2] == results["sharded"][2]
+
+
+def test_sharded_solve_produces_valid_strategies():
+    instance = _synthetic(seed=34)
+    algorithm = GlobalGreedy(shards=4, jobs=2)
+    strategy = algorithm.build_strategy(instance)
+    ConstraintChecker(instance).check(strategy)
+    assert len(strategy) > 0
+
+
+# ----------------------------------------------------------------------
+# configuration edges and failure surfacing
+# ----------------------------------------------------------------------
+def test_non_columnar_configurations_stay_serial():
+    instance = _synthetic(seed=2)
+    # The flat-heap ablation is not columnar-eligible: shards must be
+    # silently ignored and the result must still match the reference.
+    serial = GlobalGreedy(use_two_level_heap=False)
+    sharded = GlobalGreedy(use_two_level_heap=False, shards=3, jobs=2)
+    assert (sharded.build_strategy(instance).triples()
+            == serial.build_strategy(instance).triples())
+
+
+def test_solver_rejects_incompatible_true_model():
+    instance = _synthetic(seed=4)
+    other = _synthetic(seed=40)
+    model = RevenueModel(instance, backend="numpy")
+    with pytest.raises(ValueError, match="true_model"):
+        ShardedGreedySolver(
+            instance, model, ConstraintChecker(instance), shards=2, jobs=1,
+            true_model=RevenueModel(other, backend="numpy"),
+        ).select(Strategy(instance.catalog))
+
+
+def test_nested_shard_offsets_accumulate_to_the_original_row_space():
+    instance = _synthetic(num_users=30)
+    compiled = instance.compiled()
+    outer = compiled.shard(10, 30)
+    inner = outer.shard(20, 30)
+    assert inner.shard_row_offset == int(compiled.user_ptr[20])
+    for user in range(20, 30):
+        for item in instance.candidate_items(user):
+            local = inner.pair_row(user, item)
+            assert (inner.shard_row_offset + local
+                    == compiled.pair_row(user, item))
+
+
+class _ScaledRevenueModel(RevenueModel):
+    """A subclass with different scoring semantics (must never shard)."""
+
+    def marginal_revenue(self, strategy, triple):
+        return 2.0 * super().marginal_revenue(strategy, triple)
+
+
+def test_subclassed_models_never_take_the_sharded_path():
+    instance = _synthetic(seed=12)
+    model = _ScaledRevenueModel(instance, backend="numpy")
+    assert not sharding_compatible(instance, model)
+    # Solver misuse raises; the selector silently stays serial and the
+    # subclass's semantics survive.
+    with pytest.raises(ValueError, match="plain RevenueModel"):
+        ShardedGreedySolver(instance, model, ConstraintChecker(instance),
+                            shards=2, jobs=1).select(Strategy(instance.catalog))
+    results = {}
+    for label, kwargs in (("serial", {}), ("sharded", {"shards": 3, "jobs": 2})):
+        selector = LazyGreedySelector(
+            instance, _ScaledRevenueModel(instance, backend="numpy"),
+            ConstraintChecker(instance), seed_priorities=SEED_ISOLATED,
+            **kwargs,
+        )
+        strategy = Strategy(instance.catalog)
+        selector.select(strategy, None)
+        results[label] = strategy.triples()
+    assert results["serial"] == results["sharded"]
+
+
+def test_solver_rejects_incompatible_selection_model():
+    instance = _synthetic(seed=4)
+    other = _synthetic(seed=41)
+    with pytest.raises(ValueError, match="selection model"):
+        ShardedGreedySolver(
+            instance, RevenueModel(other, backend="numpy"),
+            ConstraintChecker(instance), shards=2, jobs=1,
+        ).select(Strategy(instance.catalog))
+
+
+def test_package_exports_resolve_lazily():
+    import repro
+
+    assert repro.shard_user_ranges is shard_user_ranges
+    assert repro.ShardedGreedySolver is ShardedGreedySolver
+    with pytest.raises(AttributeError, match="no attribute"):
+        repro.does_not_exist
+
+
+def test_solver_rejects_unknown_backing_and_missing_npz_path():
+    instance = _synthetic(seed=6)
+    model = RevenueModel(instance, backend="numpy")
+    checker = ConstraintChecker(instance)
+    with pytest.raises(ValueError, match="unknown shard backing"):
+        ShardedGreedySolver(instance, model, checker, shards=2,
+                            backing="carrier-pigeon")
+    # The misconfiguration must fail identically at every job count,
+    # including the in-process mode that never publishes tensors.
+    for jobs in (1, 2):
+        solver = ShardedGreedySolver(instance, model, checker, shards=2,
+                                     jobs=jobs, backing="npz")
+        with pytest.raises(ValueError, match="needs an archive"):
+            solver.select(Strategy(instance.catalog))
+
+
+def test_worker_exception_surfaces_with_traceback(monkeypatch):
+    instance = _synthetic(seed=9)
+    model = RevenueModel(instance, backend="numpy")
+
+    def explode(self, *args, **kwargs):
+        raise RuntimeError("synthetic shard failure for the test")
+
+    monkeypatch.setattr(shard_module._ShardState, "__init__", explode)
+    solver = ShardedGreedySolver(instance, model, ConstraintChecker(instance),
+                                 shards=2, jobs=2)
+    with pytest.raises(ShardWorkerError,
+                       match="synthetic shard failure for the test"):
+        solver.select(Strategy(instance.catalog))
+
+
+def test_worker_death_surfaces_exit(monkeypatch):
+    instance = _synthetic(seed=10)
+    model = RevenueModel(instance, backend="numpy")
+
+    def die(self, *args, **kwargs):
+        os._exit(17)
+
+    monkeypatch.setattr(shard_module._ShardState, "__init__", die)
+    solver = ShardedGreedySolver(instance, model, ConstraintChecker(instance),
+                                 shards=2, jobs=2)
+    with pytest.raises(ShardWorkerError, match="died unexpectedly"):
+        solver.select(Strategy(instance.catalog))
