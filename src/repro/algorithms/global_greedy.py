@@ -152,6 +152,70 @@ class GlobalGreedy(RevMaxAlgorithm):
         horizon = len(allowed) if allowed is not None else instance.horizon
         return instance.display_limit * horizon * max(1, len(instance.users()))
 
+    # ------------------------------------------------------------------
+    # dynamic re-solve
+    # ------------------------------------------------------------------
+    def _resolve_compatible(self) -> bool:
+        """The incremental engine replays the paper-default configuration."""
+        from repro.core.vectorized import resolve_backend
+
+        return (
+            not self._ignore_saturation
+            and self._use_lazy_forward
+            and self._use_two_level_heap
+            and self._use_compiled is not False
+            and resolve_backend(self.backend) == "numpy"
+        )
+
+    def resolve(self, instance: RevMaxInstance, delta=None) -> Strategy:
+        """Apply ``delta`` to ``instance`` in place and re-solve it.
+
+        Repeated calls against the *same instance object* are warm: the
+        first call runs a cold solve and records the per-user admission
+        streams; later calls repair only what each delta touched
+        (:class:`repro.dynamic.incremental.IncrementalSolver`).  The
+        returned strategy is bit-identical to
+        ``build_strategy`` on the mutated instance -- admission order,
+        gains and growth curve included.
+
+        Configurations the incremental engine does not cover (GlobalNo,
+        the ablation heaps/refresh modes, non-numpy backends) apply the
+        delta and re-solve cold, so ``resolve`` is always safe to call.
+
+        Args:
+            instance: the instance to mutate and solve.
+            delta: optional :class:`repro.dynamic.delta.InstanceDelta`;
+                ``None`` (re-)solves the instance as is.
+
+        Returns:
+            The repaired strategy; ``last_growth_curve`` and
+            ``last_extras["resolve"]`` are updated alongside.
+        """
+        # Imported lazily: plain greedy solves must not depend on the
+        # dynamic layer.
+        from repro.dynamic import apply_delta
+        from repro.dynamic.incremental import IncrementalSolver
+
+        if not self._resolve_compatible():
+            if delta is not None:
+                apply_delta(instance, delta)
+            strategy = self.build_strategy(instance)
+            self.last_extras["resolve"] = {"mode": "cold"}
+            return strategy
+        solver = getattr(self, "_incremental", None)
+        if solver is None or solver.instance is not instance:
+            solver = IncrementalSolver(instance, backend=self.backend)
+            self._incremental = solver
+            if delta is None:
+                strategy = solver.solve()
+            else:
+                strategy = solver.resolve(delta)
+        else:
+            strategy = solver.resolve(delta)
+        self.last_growth_curve = list(solver.growth_curve)
+        self.last_extras["resolve"] = dict(solver.last_stats)
+        return strategy
+
 
 class GlobalGreedyNoSaturation(GlobalGreedy):
     """The GlobalNo baseline: G-Greedy that pretends saturation does not exist."""

@@ -18,6 +18,16 @@ writing Python:
 ``python -m repro.cli info --dataset amazon`` / ``info --load plan.npz``
     Print instance statistics (users, items, classes, candidate pairs,
     horizon) and the memory footprint of the compiled columnar tensors.
+
+``python -m repro.cli resolve --load plan.npz --delta deltas.json``
+    The dynamic re-solve workflow: load a saved instance, apply a JSON
+    delta in place and repair the G-Greedy strategy incrementally.  With
+    ``--state state.json`` (written by an earlier ``resolve
+    --save-state``), untouched users' admission streams are reused instead
+    of re-solved; the result is bit-identical to a cold solve either way.
+    Delta cycles must re-save the instance alongside the state
+    (``--save-instance plan.npz``): the state carries a digest of the
+    tensors it was computed on and a mismatched pairing is rejected.
 """
 
 from __future__ import annotations
@@ -143,6 +153,29 @@ def build_parser() -> argparse.ArgumentParser:
                   f"({', '.join(_SUITE_EXHIBITS)}); ignored by the rest",
     )
 
+    resolve = subparsers.add_parser(
+        "resolve",
+        help="apply an instance delta and incrementally re-solve G-Greedy",
+    )
+    resolve.add_argument("--load", metavar="PATH", required=True,
+                         help="instance to solve (.json or .npz)")
+    resolve.add_argument("--delta", metavar="PATH", default=None,
+                         help="JSON delta to apply before solving "
+                              "(omit for a cold solve that primes --save-state)")
+    resolve.add_argument("--state", metavar="PATH", default=None,
+                         help="warm solver state from a previous resolve "
+                              "(must match the loaded instance)")
+    resolve.add_argument("--save-state", metavar="PATH", default=None,
+                         help="write the updated solver state as JSON")
+    resolve.add_argument("--save-strategy", metavar="PATH", default=None,
+                         help="write the repaired strategy as JSON")
+    resolve.add_argument("--save-instance", metavar="PATH", default=None,
+                         help="write the mutated instance (.json or .npz)")
+    resolve.add_argument("--backend", choices=("numpy",), default=None,
+                         help="revenue-engine backend (the incremental "
+                              "engine replays the columnar numpy path; "
+                              "'python' is not available here)")
+
     info = subparsers.add_parser(
         "info", help="print instance statistics and compiled-tensor footprint"
     )
@@ -243,6 +276,65 @@ def _command_exhibit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_resolve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.dynamic import IncrementalSolver, load_delta
+
+    if str(args.load).endswith(".npz"):
+        instance = repro_io.load_instance_npz(args.load)
+    else:
+        instance = repro_io.load_instance(args.load)
+    delta = load_delta(args.delta) if args.delta else None
+    try:
+        if args.state:
+            solver = IncrementalSolver.from_state(
+                instance, repro_io.load_solver_state(args.state),
+                backend=args.backend,
+            )
+        else:
+            solver = IncrementalSolver(instance, backend=args.backend)
+    except ValueError as error:
+        # E.g. REPRO_REVENUE_BACKEND=python in the environment: report it
+        # as a CLI error instead of a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if delta is not None:
+        print(delta.summary())
+    start = time.perf_counter()
+    if delta is None and args.state is None:
+        strategy = solver.solve()
+    else:
+        strategy = solver.resolve(delta)
+    seconds = time.perf_counter() - start
+    stats = solver.last_stats
+    detail = ""
+    if stats.get("mode") == "merge":
+        detail = (f"  dirty_users={stats['dirty_users']:,}"
+                  f"  reused_events={stats['reused_events']:,}")
+    elif "fallback_reason" in stats:
+        detail = f"  fallback: {stats['fallback_reason']}"
+    print(f"re-solve mode={stats['mode']}{detail}")
+    print(
+        f"strategy: {len(strategy):,} triples  "
+        f"revenue={solver.revenue:,.2f}  ({seconds:.2f}s)"
+    )
+    if args.save_state:
+        repro_io.save_solver_state(solver.state(), args.save_state)
+        print(f"solver state written to {args.save_state}")
+    if args.save_strategy:
+        repro_io.save_strategy(strategy, args.save_strategy,
+                               instance_name=instance.name)
+        print(f"strategy written to {args.save_strategy}")
+    if args.save_instance:
+        if str(args.save_instance).endswith(".npz"):
+            repro_io.save_instance_npz(instance, args.save_instance)
+        else:
+            repro_io.save_instance(instance, args.save_instance)
+        print(f"instance written to {args.save_instance}")
+    return 0
+
+
 def _format_bytes(count: int) -> str:
     """Human-readable byte count (binary units)."""
     size = float(count)
@@ -301,6 +393,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_compare(args)
     if args.command == "exhibit":
         return _command_exhibit(args)
+    if args.command == "resolve":
+        return _command_resolve(args)
     if args.command == "info":
         return _command_info(args)
     parser.error(f"unknown command {args.command!r}")

@@ -102,6 +102,12 @@ class CompiledInstance:
             self._validate()
         self._isolated: Optional[np.ndarray] = None
         self._groups: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        # item -> pair rows index (CSC-style), built lazily by the delta
+        # layer to patch the isolated-revenue matrix after price updates.
+        self._item_rows: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        #: True on views produced by :meth:`shard`: their row tensors alias
+        #: another compilation's, so in-place mutation is rejected.
+        self._shard_view = False
         #: Path of the ``.npz`` archive this compilation was loaded from, if
         #: any.  Lets the sharded solver attach workers by path + shard range
         #: instead of copying the tensors into shared memory.
@@ -322,6 +328,8 @@ class CompiledInstance:
         # carry over -- as does the row space / provenance bookkeeping.
         derived._pair_user = self._pair_user
         derived._keys = self._keys
+        derived._item_rows = self._item_rows
+        derived._shard_view = self._shard_view
         derived.source_path = self.source_path
         derived.shard_row_offset = self.shard_row_offset
         return derived
@@ -370,7 +378,203 @@ class CompiledInstance:
         # Accumulate across nested shards so local row r always maps to the
         # ORIGINAL instance's row space, whatever view it was sliced from.
         shard.shard_row_offset = self.shard_row_offset + row_start
+        shard._shard_view = True
         return shard
+
+    # ------------------------------------------------------------------
+    # in-place deltas (the dynamic re-solve layer)
+    # ------------------------------------------------------------------
+    def _item_rows_index(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSC-style index grouping pair rows by item (lazy).
+
+        Returns ``(order, ptr)`` with ``order[ptr[i] : ptr[i + 1]]`` the pair
+        rows of item ``i``.  Used by :meth:`apply_delta` to invalidate only
+        the isolated-revenue cells a price update can touch; invalidated when
+        a delta appends new CSR rows.
+        """
+        if self._item_rows is None:
+            order = np.argsort(self.pair_item, kind="stable")
+            ptr = np.zeros(self.num_items + 1, dtype=np.int64)
+            np.cumsum(
+                np.bincount(self.pair_item, minlength=self.num_items),
+                out=ptr[1:],
+            )
+            self._item_rows = (order.astype(np.int64, copy=False), ptr)
+        return self._item_rows
+
+    def rows_of_item(self, item: int) -> np.ndarray:
+        """Pair rows whose item is ``item`` (ascending row order).
+
+        The stable argsort in :meth:`_item_rows_index` preserves the
+        original row order within each item bucket, so the slice is
+        already ascending.
+        """
+        if not 0 <= item < self.num_items:
+            raise ValueError(
+                f"item {item} outside 0..{self.num_items - 1}"
+            )
+        order, ptr = self._item_rows_index()
+        return order[ptr[item]:ptr[item + 1]]
+
+    def _writable(self, name: str) -> np.ndarray:
+        """A writable view of tensor ``name``, copying once if needed.
+
+        Tensors memory-mapped from an ``.npz`` archive (or attached through
+        read-only shared memory) cannot be patched in place; the first delta
+        that touches such a tensor replaces it with an owned, writable copy.
+        Consumers holding the *compilation* see the swap transparently;
+        anything that grabbed the old array object keeps the pre-delta
+        values (which is why :func:`repro.dynamic.apply_delta` re-syncs the
+        wrapping instance's references).
+        """
+        array = getattr(self, name)
+        if not array.flags.writeable:
+            array = np.array(array)
+            setattr(self, name, array)
+        return array
+
+    def apply_delta(self, delta) -> None:
+        """Patch the compiled tensors in place per an ``InstanceDelta``.
+
+        Everything the delta does not name is untouched: no recompilation,
+        no CSR re-sort, and the cached isolated-revenue matrix is repaired
+        only in the rows/cells the delta can reach (probability updates
+        rewrite their pair rows, price updates their item's ``(row, t)``
+        cells, new users append freshly computed tail rows).  The whole
+        delta is validated before the first write, so a rejected delta
+        leaves the compilation unchanged.
+
+        The mutation bumps :attr:`source_version`.  Callers holding this
+        compilation inside a :class:`~repro.core.problem.RevMaxInstance`
+        should go through :func:`repro.dynamic.apply_delta`, which keeps the
+        instance's adoption-table version and tensor references in sync (and
+        handles dict-backed tables); callers holding live
+        :class:`~repro.core.revenue.RevenueModel` caches must invalidate the
+        dirty entries (see
+        :class:`repro.dynamic.incremental.IncrementalSolver`).
+
+        Args:
+            delta: an :class:`repro.dynamic.delta.InstanceDelta`.
+
+        Raises:
+            ValueError: on out-of-range ids/times, probability updates for
+                pairs absent from the candidate table, malformed vectors, or
+                non-contiguous new-user ids; nothing is applied.
+        """
+        if self._shard_view:
+            raise ValueError(
+                "cannot apply a delta to a shard view: its tensors alias "
+                "another compilation; apply the delta to the full instance"
+            )
+        if delta.is_empty():
+            return
+
+        # -- validate everything up front (atomicity) -------------------
+        delta.validate_ranges(self.num_items, self.horizon, self.num_users)
+        prob_rows = None
+        if delta.probability_updates:
+            pairs = sorted(delta.probability_updates)
+            users = np.fromiter((p[0] for p in pairs), dtype=np.int64,
+                                count=len(pairs))
+            items = np.fromiter((p[1] for p in pairs), dtype=np.int64,
+                                count=len(pairs))
+            rows = self.pair_rows(users, items)
+            missing = np.flatnonzero(rows < 0)
+            if missing.size:
+                user, item = pairs[int(missing[0])]
+                raise ValueError(
+                    f"probability update for (user={user}, item={item}) "
+                    f"names a pair absent from the candidate table; new "
+                    f"pairs can only arrive with new users"
+                )
+            matrix = np.empty((len(pairs), self.horizon), dtype=np.float64)
+            for index, pair in enumerate(pairs):
+                matrix[index] = delta.probability_updates[pair]
+            prob_rows = (rows, matrix)
+        tail = None
+        if delta.new_users:
+            tail = self._flatten_new_users(delta)
+
+        # -- apply ------------------------------------------------------
+        if delta.price_updates:
+            prices = self._writable("prices")
+            for (item, t), price in delta.price_updates.items():
+                prices[item, t] = price
+        if delta.capacity_updates:
+            capacities = self._writable("capacities")
+            for item, capacity in delta.capacity_updates.items():
+                capacities[item] = capacity
+        if prob_rows is not None:
+            rows, matrix = prob_rows
+            self._writable("pair_probs")[rows] = matrix
+            if self._isolated is not None:
+                self._isolated[rows] = (
+                    self.prices[self.pair_item[rows]] * matrix
+                )
+        if delta.price_updates and self._isolated is not None:
+            # Probability rows above were recomputed against the *new*
+            # prices already; here only the remaining rows of each
+            # price-touched (item, t) cell need repair.
+            for (item, t), price in delta.price_updates.items():
+                rows = self.rows_of_item(item)
+                self._isolated[rows, t] = price * self.pair_probs[rows, t]
+        if tail is not None:
+            self._append_users(*tail)
+        self.source_version += 1
+
+    def _flatten_new_users(self, delta):
+        """Flatten the (already validated) new users' pairs to a CSR tail."""
+        counts: List[int] = []
+        tail_items: List[int] = []
+        tail_vectors: List[np.ndarray] = []
+        for user in sorted(delta.new_users):
+            pairs = delta.new_users[user]
+            for item in sorted(pairs):
+                tail_items.append(item)
+                tail_vectors.append(pairs[item])
+            counts.append(len(pairs))
+        return counts, tail_items, tail_vectors
+
+    def _append_users(self, counts: List[int], tail_items: List[int],
+                      tail_vectors: List[np.ndarray]) -> None:
+        """Grow the CSR by a validated tail of new users' pairs."""
+        n_new_users = len(counts)
+        n_tail = len(tail_items)
+        new_ptr = self.user_ptr[-1] + np.cumsum(
+            np.asarray(counts, dtype=np.int64)
+        )
+        self.user_ptr = np.concatenate([np.asarray(self.user_ptr), new_ptr])
+        items = np.asarray(tail_items, dtype=np.int64)
+        probs = (
+            np.asarray(tail_vectors, dtype=np.float64).reshape(
+                n_tail, self.horizon
+            )
+        )
+        self.pair_item = np.concatenate([np.asarray(self.pair_item), items])
+        self.pair_probs = np.concatenate(
+            [np.asarray(self.pair_probs), probs], axis=0
+        )
+        if self._isolated is not None:
+            self._isolated = np.concatenate(
+                [self._isolated, self.prices[items] * probs], axis=0
+            )
+        if self._pair_user is not None:
+            tail_users = np.repeat(
+                np.arange(self.num_users, self.num_users + n_new_users,
+                          dtype=np.int64),
+                counts,
+            )
+            self._pair_user = np.concatenate([self._pair_user, tail_users])
+            if self._keys is not None:
+                self._keys = np.concatenate([
+                    self._keys, tail_users * self._key_stride + items
+                ])
+        else:
+            self._keys = None
+        self.num_users += n_new_users
+        # Group index and item->rows index cover rows that did not exist.
+        self._groups = None
+        self._item_rows = None
 
     # ------------------------------------------------------------------
     # row lookups

@@ -66,8 +66,72 @@ from repro.heaps.binary_heap import AddressableMaxHeap
 from repro.heaps.columnar import ColumnarFrontier
 from repro.heaps.two_level import TwoLevelHeap
 
-__all__ = ["LazyGreedySelector", "SEED_ISOLATED", "SEED_MARGINAL",
-           "build_columnar_frontier"]
+__all__ = ["LazyGreedySelector", "SelectionTrace", "SEED_ISOLATED",
+           "SEED_MARGINAL", "build_columnar_frontier"]
+
+
+class SelectionTrace:
+    """Record of one greedy selection run, consumed by the dynamic layer.
+
+    The incremental re-solver (:mod:`repro.dynamic.incremental`) replays a
+    previous run instead of re-popping the frontier.  What it needs is the
+    run's *pop sequence*, split per user:
+
+    * ``events`` -- for each user, the ordered selector-level pops of that
+      user's candidates as ``(priority, item, t, admitted)`` rows.  A pop
+      the selector answered with a lazy refresh or a display discard is a
+      *gate* (``admitted=False``): it admits nothing, but its priority is
+      what the rest of the frontier had to beat for the pop to happen, so
+      replaying gates reproduces the global interleaving exactly -- even
+      when a refresh *raises* a priority (the revenue function is close to
+      but not exactly submodular, so that genuinely happens);
+    * ``admissions`` -- the ``(triple, gain)`` admissions in global
+      admission order (for the supported configuration the gain *is* the
+      fresh priority at admission time);
+    * ``truncated`` -- the run ended at the non-positive break with
+      candidates still in the frontier.  The per-user sequences were cut at
+      a *global* condition (entries below the break value might still
+      resurrect through a non-submodular refresh), so they cannot be
+      replayed user by user; the re-solver falls back to a cold replay.
+      Runs that drain their frontier (every candidate admitted or
+      discarded -- the common case once display slots fill) record
+      complete sequences;
+    * ``capped`` -- the run exited at its ``max_selections`` cap with
+      candidates still in the frontier.  Generally as unreplayable as a
+      break, *except* when the cap is the display-theoretic bound
+      ``k * T * |users|``: reaching it means every user's slots are full,
+      the unrecorded suffix of every sequence is pure display discards,
+      and omitting it changes nothing (the incremental solver relies on
+      exactly that);
+    * ``capacity_blocked`` -- a capacity constraint fired, coupling users;
+      per-user replay is then unsound and the re-solver falls back.
+    """
+
+    def __init__(self) -> None:
+        self.events: Dict[int, List[Tuple[float, int, int, bool]]] = {}
+        self.admissions: List[Tuple[Triple, float]] = []
+        self.truncated = False
+        self.capped = False
+        self.capacity_blocked = False
+
+    def record_admit(self, triple: Triple, gain: float) -> None:
+        self.admissions.append((triple, gain))
+        self.events.setdefault(triple.user, []).append(
+            (gain, triple.item, triple.t, True)
+        )
+
+    def record_gate(self, triple: Triple, priority: float) -> None:
+        self.events.setdefault(triple.user, []).append(
+            (priority, triple.item, triple.t, False)
+        )
+
+    def complete(self) -> bool:
+        """True when the per-user sequences are replayable in isolation.
+
+        ``capped`` runs are excluded here; a caller whose cap provably
+        implies display saturation (see above) may accept them explicitly.
+        """
+        return not (self.truncated or self.capped or self.capacity_blocked)
 
 
 def build_columnar_frontier(compiled, strategy: Strategy,
@@ -178,6 +242,10 @@ class LazyGreedySelector:
             serial selection admit bit-identical triples.
         jobs: worker processes for the sharded path (default: one per
             shard, capped at the core count; ``1``: all shards in-process).
+        trace: optional :class:`SelectionTrace` receiving the run's
+            per-user pop sequences (the dynamic re-solve layer's warm
+            state).  A trace forces the serial loop: the sharded
+            coordinator does not record one.
     """
 
     def __init__(self, instance: RevMaxInstance, model: RevenueModel,
@@ -191,6 +259,7 @@ class LazyGreedySelector:
                  use_compiled: Optional[bool] = None,
                  shards: Optional[int] = None,
                  jobs: Optional[int] = None,
+                 trace: Optional[SelectionTrace] = None,
                  ) -> None:
         if seed_priorities not in (SEED_ISOLATED, SEED_MARGINAL):
             raise ValueError(
@@ -209,6 +278,7 @@ class LazyGreedySelector:
         self._use_compiled = use_compiled if use_compiled is not None else True
         self._shards = shards
         self._jobs = jobs
+        self._trace = trace
 
     # ------------------------------------------------------------------
     # public entry point
@@ -259,16 +329,21 @@ class LazyGreedySelector:
             key, priority = heap.peek()
             triple = Triple(*key)
             if not self._checker.can_add(strategy, triple):
-                self._discard_blocked(heap, group_keys, strategy, triple)
+                self._discard_blocked(heap, group_keys, strategy, triple,
+                                      priority)
                 continue
             freshness = strategy.group_size(
                 triple.user, self._instance.class_of(triple.item)
             )
             if self._use_lazy_forward and flags[triple] != freshness:
+                if self._trace is not None:
+                    self._trace.record_gate(triple, priority)
                 self._refresh_group(heap, flags, group_keys, strategy,
                                     triple, freshness)
                 continue
             if priority <= 0.0:
+                if self._trace is not None and heap:
+                    self._trace.truncated = True
                 break
             gain = (
                 priority if self._true_model is None
@@ -281,10 +356,15 @@ class LazyGreedySelector:
             revenue += gain
             if growth_curve is not None:
                 growth_curve.append((len(strategy), revenue))
+            if self._trace is not None:
+                self._trace.record_admit(triple, gain)
             if self._on_admit is not None:
                 self._on_admit(triple, gain)
             if not self._use_lazy_forward:
                 self._eager_refresh(heap, flags, group_keys, strategy, triple)
+        if self._trace is not None and heap and not self._trace.truncated:
+            # The max_selections cap left live candidates unpopped.
+            self._trace.capped = True
         return admitted
 
     # ------------------------------------------------------------------
@@ -316,6 +396,10 @@ class LazyGreedySelector:
         """
         shards = self._shards
         if shards is None or shards == 1 or not self._columnar_eligible():
+            return False
+        if self._trace is not None:
+            # Traces are recorded by the serial admit loop; the sharded
+            # coordinator does not thread them through its workers.
             return False
         # Imported lazily, like _select_sharded: the serial path must not
         # depend on the multiprocessing machinery.
@@ -423,7 +507,7 @@ class LazyGreedySelector:
         group_keys.get(group, set()).discard(triple)
 
     def _discard_blocked(self, heap, group_keys, strategy: Strategy,
-                         triple: Triple) -> None:
+                         triple: Triple, priority: float = 0.0) -> None:
         """Drop candidates that can never become feasible again.
 
         A display violation concerns only the popped triple's (user, time)
@@ -439,9 +523,13 @@ class LazyGreedySelector:
         )
         group = (triple.user, triple.item)
         if display_blocked:
+            if self._trace is not None:
+                self._trace.record_gate(triple, priority)
             heap.discard(triple)
             self._note_removed(group_keys, group, triple)
             return
+        if self._trace is not None:
+            self._trace.capacity_blocked = True
         if isinstance(heap, ColumnarFrontier):
             # Kills the whole row in one step -- no need to materialize the
             # dying group's lower heap just to discard entry by entry.

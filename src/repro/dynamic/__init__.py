@@ -1,0 +1,33 @@
+"""Dynamic re-solve layer: instance deltas + warm-started incremental G-Greedy.
+
+The paper frames REVMAX as a *dynamic* recommendation problem -- prices,
+adoption probabilities and capacities drift between cycles -- but a naive
+deployment re-solves every cycle from scratch.  This package closes that
+gap:
+
+* :class:`~repro.dynamic.delta.InstanceDelta` declares a batch of changes
+  (price cells, pair probability vectors, capacities, new users);
+* :func:`~repro.dynamic.apply.apply_delta` patches a live instance (and its
+  compiled tensors) in place instead of recompiling;
+* :class:`~repro.dynamic.incremental.IncrementalSolver` repairs a
+  previously computed G-Greedy strategy after a delta, reusing the
+  recorded admission streams of every untouched user, with a hard
+  guarantee of bit-identical equality to a cold solve on the mutated
+  instance.
+
+See ``docs/architecture.md`` ("Dynamic re-solve") for the design and
+``docs/testing.md`` for how the differential suites pin the equality down.
+"""
+
+from repro.dynamic.apply import apply_delta
+from repro.dynamic.delta import InstanceDelta, load_delta, save_delta
+from repro.dynamic.incremental import IncrementalSolver, SolverState
+
+__all__ = [
+    "InstanceDelta",
+    "IncrementalSolver",
+    "SolverState",
+    "apply_delta",
+    "load_delta",
+    "save_delta",
+]

@@ -123,6 +123,14 @@ class MinCostFlow:
         """
         if source not in self._index or sink not in self._index:
             raise KeyError("source and sink must be nodes of the graph")
+        if source == sink:
+            # The zero-length "path" has infinite bottleneck; shipping along
+            # it is meaningless, so the answer is simply the empty flow.
+            return FlowResult(
+                flow_value=0.0, total_cost=0.0,
+                edge_flows={handle: 0.0 for handle
+                            in range(len(self._edge_handles))},
+            )
         s = self._index[source]
         t = self._index[sink]
         n = len(self._nodes)

@@ -134,6 +134,23 @@ class ColumnarFrontier:
         self.discard(key)
         return key, priority
 
+    def priority(self, key) -> float:
+        """Return the priority currently stored for a live candidate.
+
+        Raises:
+            KeyError: if the candidate is not in the frontier.
+        """
+        user, item, t = key
+        row = self._row_lookup(user, item)
+        if row < 0 or self._best[row] == _DEAD:
+            raise KeyError(f"key not in frontier: {key!r}")
+        lower = self._lower.get(row)
+        if lower is not None:
+            return lower.priority(Triple(*key))
+        if not (0 <= t < self._seeded.shape[1] and self._seeded[row, t]):
+            raise KeyError(f"key not in frontier: {key!r}")
+        return float(self._priorities[row, t])
+
     def group_members(self, group: Tuple[int, int]) -> Set[Triple]:
         """Live candidate triples of one (user, item) group."""
         user, item = group

@@ -43,6 +43,7 @@ from repro.core.compiled import CompiledInstance
 from repro.core.entities import ItemCatalog, Triple
 from repro.core.problem import AdoptionTable, RevMaxInstance
 from repro.core.strategy import Strategy
+from repro.dynamic.incremental import SolverState
 
 __all__ = [
     "FORMAT_VERSION",
@@ -58,6 +59,10 @@ __all__ = [
     "strategy_from_dict",
     "save_strategy",
     "load_strategy",
+    "solver_state_to_dict",
+    "solver_state_from_dict",
+    "save_solver_state",
+    "load_solver_state",
     "result_to_dict",
     "save_result",
 ]
@@ -335,6 +340,72 @@ def save_strategy(strategy: Strategy, path: _PathLike,
 def load_strategy(path: _PathLike, catalog: ItemCatalog) -> Strategy:
     """Read a strategy from a JSON file."""
     return strategy_from_dict(_read_json(path), catalog)
+
+
+# ----------------------------------------------------------------------
+# solver state (the dynamic re-solve layer's warm start)
+# ----------------------------------------------------------------------
+def solver_state_to_dict(state: SolverState) -> Dict:
+    """Encode an incremental solver's warm state as a JSON document.
+
+    The document holds the admission sequence in global admission order
+    (triple + float gain per row) plus the per-user pop sequences the next
+    re-solve merges -- exactly what
+    :meth:`repro.dynamic.incremental.IncrementalSolver.state` exports.
+    Persisted alongside the instance's ``.npz``, it lets a later process
+    warm-start an incremental re-solve without re-running the cold solve.
+    Floats round-trip exactly (``json`` uses ``repr`` shortest-round-trip
+    encoding), so a warm start preserves the bit-identity guarantee.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "revmax-solver-state",
+        "instance_name": state.instance_name,
+        "signature": state.signature,
+        "complete": bool(state.complete),
+        "admits": [
+            [int(user), int(item), int(t), float(gain)]
+            for user, item, t, gain in state.admits
+        ],
+        "events": {
+            str(user): [
+                [float(priority), int(item), int(t), int(admitted)]
+                for priority, item, t, admitted in sequence
+            ]
+            for user, sequence in state.events.items()
+        },
+    }
+
+
+def solver_state_from_dict(document: Dict) -> SolverState:
+    """Decode a solver state from :func:`solver_state_to_dict`'s document."""
+    _check_document(document, "revmax-solver-state")
+    return SolverState(
+        admits=[
+            (int(user), int(item), int(t), float(gain))
+            for user, item, t, gain in document["admits"]
+        ],
+        events={
+            int(user): [
+                (float(priority), int(item), int(t), bool(admitted))
+                for priority, item, t, admitted in sequence
+            ]
+            for user, sequence in document.get("events", {}).items()
+        },
+        complete=bool(document.get("complete", False)),
+        instance_name=document.get("instance_name", "revmax-instance"),
+        signature=document.get("signature", ""),
+    )
+
+
+def save_solver_state(state: SolverState, path: _PathLike) -> None:
+    """Write an incremental solver's warm state to a JSON file."""
+    _write_json(solver_state_to_dict(state), path)
+
+
+def load_solver_state(path: _PathLike) -> SolverState:
+    """Read an incremental solver's warm state from a JSON file."""
+    return solver_state_from_dict(_read_json(path))
 
 
 # ----------------------------------------------------------------------

@@ -14,11 +14,36 @@ Fixtures provide a ladder of instance sizes:
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.problem import RevMaxInstance
 from repro.experiments.harness import prepare_dataset
+
+try:
+    from hypothesis import HealthCheck, settings as hypothesis_settings
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    hypothesis_settings = None
+
+if hypothesis_settings is not None:
+    # "ci": the deterministic tier -- derandomize=True fixes the example
+    # stream from the test code itself (no ambient entropy), so a red CI
+    # run reproduces locally with `HYPOTHESIS_PROFILE=ci`.  "dev" keeps
+    # local runs fast.  Both disable the deadline: a greedy solve's wall
+    # time depends on the machine, not on correctness.
+    hypothesis_settings.register_profile(
+        "ci", max_examples=200, derandomize=True, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.register_profile(
+        "dev", max_examples=50, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "dev")
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,79 @@
+"""Regenerate the golden regression fixtures.
+
+Run from the repository root after an *intentional* behaviour change::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Three canonical instances are frozen as JSON (so the fixtures do not
+depend on the generators staying bit-stable) together with the expected
+strategy, revenue and growth curve of every solver under test.  Commit
+the regenerated files alongside the change that moved them, and explain
+the move in the commit message -- ``tests/test_golden.py`` exists to make
+silent drift loud.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", ".."
+))
+
+import numpy as np  # noqa: E402
+
+from repro import io as repro_io  # noqa: E402
+from repro.core.problem import RevMaxInstance  # noqa: E402
+from tests.conftest import build_random_instance  # noqa: E402
+from tests.test_golden import (  # noqa: E402
+    GOLDEN_DIR,
+    expected_path,
+    instance_path,
+    solver_signatures,
+)
+
+
+def canonical_instances():
+    """The three frozen instances: tiny exact, dense saturating, tight."""
+    paper = RevMaxInstance.from_dense_adoption(
+        prices=np.array([[1.0, 0.95], [0.8, 1.1]]),
+        adoption={(0, 0): [0.5, 0.6], (0, 1): [0.3, 0.4],
+                  (1, 0): [0.7, 0.2]},
+        item_class=[0, 0],
+        capacities=2,
+        betas=0.1,
+        display_limit=1,
+        num_users=2,
+        name="golden-paper-like",
+    )
+    dense = build_random_instance(
+        num_users=8, num_items=6, num_classes=3, horizon=3, display_limit=2,
+        capacity=8, beta=0.95, density=1.0, seed=1042,
+    )
+    dense.name = "golden-dense"
+    tight = build_random_instance(
+        num_users=7, num_items=5, num_classes=2, horizon=3, display_limit=2,
+        capacity=2, beta=0.3, density=0.7, seed=77,
+    )
+    tight.name = "golden-tight-capacity"
+    return [paper, dense, tight]
+
+
+def main() -> None:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for instance in canonical_instances():
+        repro_io.save_instance(instance, instance_path(instance.name))
+        document = {
+            "instance": instance.name,
+            "solvers": solver_signatures(instance),
+        }
+        with open(expected_path(instance.name), "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+        print(f"wrote {instance.name}: "
+              f"{', '.join(sorted(document['solvers']))}")
+
+
+if __name__ == "__main__":
+    main()

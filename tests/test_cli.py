@@ -125,6 +125,149 @@ class TestInfoCommand:
         assert "candidate triples (positive q)" in captured.out
 
 
+class TestResolveCommand:
+    def test_resolve_requires_an_instance(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resolve"])
+
+    def test_resolve_rejects_python_backend(self, tmp_path, monkeypatch,
+                                            capsys):
+        # The flag is constrained by the parser ...
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resolve", "--load", "x.npz",
+                                       "--backend", "python"])
+        # ... and a python default from the environment is a clean CLI
+        # error, not a traceback.
+        instance_path = tmp_path / "plan.npz"
+        assert main(["solve", "--scale", "tiny",
+                     "--save-instance", str(instance_path)]) == 0
+        capsys.readouterr()
+        monkeypatch.setenv("REPRO_REVENUE_BACKEND", "python")
+        assert main(["resolve", "--load", str(instance_path)]) == 2
+        captured = capsys.readouterr()
+        assert "numpy backend" in captured.err
+
+    def test_cold_prime_then_warm_delta_cycle(self, tmp_path, capsys):
+        """The full CLI workflow: solve, prime state, re-solve with a delta."""
+        instance_path = tmp_path / "plan.npz"
+        state_path = tmp_path / "state.json"
+        delta_path = tmp_path / "delta.json"
+        strategy_path = tmp_path / "strategy.json"
+        assert main(["solve", "--scale", "tiny",
+                     "--save-instance", str(instance_path)]) == 0
+        capsys.readouterr()
+
+        # Cold prime: no delta, no state -- records the warm state.
+        assert main(["resolve", "--load", str(instance_path),
+                     "--save-state", str(state_path)]) == 0
+        captured = capsys.readouterr()
+        assert "re-solve mode=cold" in captured.out
+        assert state_path.exists()
+
+        from repro.dynamic import InstanceDelta, save_delta
+
+        save_delta(InstanceDelta(price_updates={(0, 0): 42.0},
+                                 capacity_updates={1: 500},
+                                 name="cli-cycle"), delta_path)
+        assert main(["resolve", "--load", str(instance_path),
+                     "--state", str(state_path),
+                     "--delta", str(delta_path),
+                     "--save-state", str(state_path),
+                     "--save-strategy", str(strategy_path)]) == 0
+        captured = capsys.readouterr()
+        assert "delta 'cli-cycle'" in captured.out
+        assert "re-solve mode=" in captured.out
+        assert "revenue=" in captured.out
+        document = json.loads(strategy_path.read_text())
+        assert document["kind"] == "revmax-strategy"
+        assert len(document["triples"]) > 0
+
+    def test_warm_merge_path_reports_reuse(self, tmp_path, capsys):
+        """A saturating instance takes the fast merge path through the CLI."""
+        from repro import io as repro_io
+        from repro.dynamic import InstanceDelta, save_delta
+        from tests.conftest import build_random_instance
+
+        instance = build_random_instance(
+            num_users=8, num_items=6, num_classes=3, horizon=3,
+            display_limit=2, capacity=8, beta=0.95, density=1.0, seed=0,
+        )
+        instance_path = tmp_path / "plan.npz"
+        state_path = tmp_path / "state.json"
+        delta_path = tmp_path / "delta.json"
+        repro_io.save_instance_npz(instance, instance_path)
+        pair = sorted(instance.adoption.pairs())[0]
+        save_delta(InstanceDelta(
+            probability_updates={pair: [0.9, 0.8, 0.7]}
+        ), delta_path)
+        assert main(["resolve", "--load", str(instance_path),
+                     "--save-state", str(state_path)]) == 0
+        capsys.readouterr()
+        assert main(["resolve", "--load", str(instance_path),
+                     "--state", str(state_path),
+                     "--delta", str(delta_path)]) == 0
+        captured = capsys.readouterr()
+        assert "re-solve mode=merge" in captured.out
+        assert "dirty_users=1" in captured.out
+        assert "reused_events=" in captured.out
+
+    def test_stale_instance_state_pairing_rejected(self, tmp_path, capsys):
+        """Delta cycles must re-save the instance; a stale pairing errors.
+
+        Without the digest check, cycle 2 would silently merge cycle 1's
+        recorded sequences against tensors that never received cycle 1's
+        delta -- a wrong strategy with no warning.
+        """
+        from repro import io as repro_io
+        from repro.dynamic import InstanceDelta, save_delta
+        from tests.conftest import build_random_instance
+
+        instance = build_random_instance(
+            num_users=8, num_items=6, num_classes=3, horizon=3,
+            display_limit=2, capacity=8, beta=0.95, density=1.0, seed=0,
+        )
+        instance_path = tmp_path / "plan.npz"
+        state_path = tmp_path / "state.json"
+        delta_path = tmp_path / "delta.json"
+        repro_io.save_instance_npz(instance, instance_path)
+        pair = sorted(instance.adoption.pairs())[0]
+        save_delta(InstanceDelta(probability_updates={pair: [0.9, 0.8, 0.7]}),
+                   delta_path)
+        assert main(["resolve", "--load", str(instance_path),
+                     "--save-state", str(state_path)]) == 0
+        # Cycle 1 forgets --save-instance: state moves on, plan.npz stays.
+        assert main(["resolve", "--load", str(instance_path),
+                     "--state", str(state_path),
+                     "--delta", str(delta_path),
+                     "--save-state", str(state_path)]) == 0
+        capsys.readouterr()
+        # Cycle 2 with the now-stale instance is rejected, not merged.
+        assert main(["resolve", "--load", str(instance_path),
+                     "--state", str(state_path),
+                     "--delta", str(delta_path)]) == 2
+        captured = capsys.readouterr()
+        assert "does not match" in captured.err
+
+    def test_resolve_save_instance_persists_the_mutation(self, tmp_path,
+                                                         capsys):
+        instance_path = tmp_path / "plan.npz"
+        mutated_path = tmp_path / "mutated.npz"
+        delta_path = tmp_path / "delta.json"
+        assert main(["solve", "--scale", "tiny",
+                     "--save-instance", str(instance_path)]) == 0
+
+        from repro import io as repro_io
+        from repro.dynamic import InstanceDelta, save_delta
+
+        save_delta(InstanceDelta(price_updates={(2, 0): 99.5}), delta_path)
+        assert main(["resolve", "--load", str(instance_path),
+                     "--delta", str(delta_path),
+                     "--save-instance", str(mutated_path)]) == 0
+        capsys.readouterr()
+        mutated = repro_io.load_instance_npz(mutated_path)
+        assert mutated.prices[2, 0] == 99.5
+
+
 class TestExhibitCommand:
     def test_exhibit_table1(self, capsys):
         exit_code = main(["exhibit", "table1", "--scale", "tiny"])

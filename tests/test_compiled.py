@@ -403,6 +403,18 @@ class TestColumnarFrontier:
         with pytest.raises(IndexError):
             frontier.peek()
 
+    def test_priority_accessor(self):
+        frontier = self._frontier()
+        # Before materialization the seeded matrix answers directly ...
+        assert frontier.priority(Triple(0, 0, 1)) == 7.0
+        # ... and after an update the lower heap does.
+        frontier.update(Triple(0, 0, 1), 2.5)
+        assert frontier.priority(Triple(0, 0, 1)) == 2.5
+        with pytest.raises(KeyError):
+            frontier.priority(Triple(0, 1, 1))  # masked out (priority 0)
+        with pytest.raises(KeyError):
+            frontier.priority(Triple(9, 9, 0))  # unknown pair
+
     def test_group_members_and_drop_group(self):
         frontier = self._frontier()
         assert frontier.group_members((0, 0)) == {

@@ -1,0 +1,467 @@
+"""Tests for the dynamic re-solve layer (deltas + incremental G-Greedy).
+
+Three layers, mirroring the module structure:
+
+* delta validation and JSON round-trips (:mod:`repro.dynamic.delta`);
+* in-place application to compiled tensors and live instances, asserting
+  that a patched instance is value-identical to a freshly built mutated
+  instance (:meth:`CompiledInstance.apply_delta`,
+  :func:`repro.dynamic.apply_delta`);
+* the incremental solver's core contract: across every delta kind and both
+  re-solve modes (stream merge and cold fallback), ``resolve`` produces
+  **bit-identical** strategies, admission orders and growth curves to a
+  cold columnar G-Greedy on the mutated instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.global_greedy import GlobalGreedy
+from repro.dynamic import (
+    IncrementalSolver,
+    InstanceDelta,
+    apply_delta,
+    load_delta,
+    save_delta,
+)
+from repro import io as repro_io
+from tests.conftest import build_random_instance
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+#: Instance parameters whose solves usually drain the frontier (display
+#: saturation), which is what makes the fast merge path eligible.
+MERGE_FRIENDLY = dict(num_users=8, num_items=6, num_classes=3, horizon=3,
+                      display_limit=2, capacity=8, beta=0.95, density=1.0)
+
+#: Parameters that usually end at the non-positive break (fallback path).
+BREAK_FRIENDLY = dict(num_users=7, num_items=5, num_classes=2, horizon=3,
+                      display_limit=2, capacity=2, beta=0.3, density=0.7)
+
+
+def random_delta(instance, seed: int, *, with_new_users: bool = True,
+                 horizon: int = 3) -> InstanceDelta:
+    """A delta touching every mutation kind, deterministic per seed."""
+    rng = np.random.default_rng(seed)
+    pairs = sorted(instance.adoption.pairs())
+    picked = [pairs[i] for i in rng.choice(len(pairs), size=min(3, len(pairs)),
+                                           replace=False)]
+    new_users = {}
+    if with_new_users:
+        new_users = {
+            instance.num_users: {
+                0: rng.uniform(0.0, 1.0, size=horizon),
+                2: rng.uniform(0.0, 1.0, size=horizon),
+            },
+            instance.num_users + 1: {
+                1: rng.uniform(0.0, 1.0, size=horizon),
+            },
+        }
+    return InstanceDelta(
+        price_updates={
+            (int(rng.integers(0, instance.num_items)),
+             int(rng.integers(0, horizon))): float(rng.uniform(1.0, 80.0)),
+        },
+        probability_updates={
+            pair: rng.uniform(0.0, 1.0, size=horizon) for pair in picked
+        },
+        capacity_updates={
+            int(rng.integers(0, instance.num_items)): int(rng.integers(1, 10)),
+        },
+        new_users=new_users,
+        name=f"test-delta-{seed}",
+    )
+
+
+def copy_delta(delta: InstanceDelta) -> InstanceDelta:
+    """A deep copy (application consumes nothing, but keeps tests honest)."""
+    return InstanceDelta.from_dict(delta.to_dict())
+
+
+def cold_reference(instance):
+    """Cold G-Greedy on ``instance``: (sorted triples, growth curve)."""
+    algorithm = GlobalGreedy(backend="numpy")
+    strategy = algorithm.build_strategy(instance)
+    return sorted(strategy.triples()), algorithm.last_growth_curve
+
+
+# ----------------------------------------------------------------------
+# InstanceDelta: validation and serialization
+# ----------------------------------------------------------------------
+class TestInstanceDelta:
+    def test_empty(self):
+        assert InstanceDelta().is_empty()
+        assert not InstanceDelta(price_updates={(0, 0): 1.0}).is_empty()
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            InstanceDelta(price_updates={(0, 0): -1.0})
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            InstanceDelta(capacity_updates={3: -2})
+
+    def test_nan_probability_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            InstanceDelta(probability_updates={(0, 1): [0.2, float("nan")]})
+
+    def test_out_of_range_probability_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            InstanceDelta(new_users={5: {0: [0.2, 1.5]}})
+
+    def test_touched_sets(self):
+        delta = InstanceDelta(
+            price_updates={(2, 1): 5.0},
+            probability_updates={(0, 3): [0.5, 0.5]},
+            new_users={7: {1: [0.1, 0.2]}},
+        )
+        assert delta.touched_pairs() == {(0, 3), (7, 1)}
+        assert delta.touched_price_cells() == {(2, 1)}
+
+    def test_json_round_trip(self, tmp_path):
+        instance = build_random_instance(seed=5)
+        delta = random_delta(instance, seed=5)
+        path = tmp_path / "delta.json"
+        save_delta(delta, path)
+        loaded = load_delta(path)
+        assert loaded.name == delta.name
+        assert loaded.price_updates == delta.price_updates
+        assert loaded.capacity_updates == delta.capacity_updates
+        assert set(loaded.probability_updates) == set(delta.probability_updates)
+        for pair, vector in delta.probability_updates.items():
+            np.testing.assert_array_equal(loaded.probability_updates[pair],
+                                          vector)
+        assert set(loaded.new_users) == set(delta.new_users)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="revmax-delta"):
+            InstanceDelta.from_dict({"kind": "revmax-strategy",
+                                     "format_version": 1})
+
+
+# ----------------------------------------------------------------------
+# applying deltas
+# ----------------------------------------------------------------------
+class TestApplyDelta:
+    def test_columnar_patch_matches_fresh_build(self):
+        """A patched compilation is value-identical to a fresh mutated one."""
+        base = build_random_instance(seed=11)
+        columnar = base.compiled().as_instance()
+        columnar.compiled().isolated_revenues()  # materialize the cache
+        delta = random_delta(columnar, seed=11)
+        apply_delta(columnar, copy_delta(delta))
+
+        mutated = build_random_instance(seed=11)
+        apply_delta(mutated, copy_delta(delta))
+        fresh = mutated.compiled()
+        patched = columnar.compiled()
+        np.testing.assert_array_equal(patched.user_ptr, fresh.user_ptr)
+        np.testing.assert_array_equal(patched.pair_item, fresh.pair_item)
+        np.testing.assert_array_equal(patched.pair_probs, fresh.pair_probs)
+        np.testing.assert_array_equal(patched.prices, fresh.prices)
+        np.testing.assert_array_equal(patched.capacities, fresh.capacities)
+        np.testing.assert_array_equal(patched.isolated_revenues(),
+                                      fresh.isolated_revenues())
+        assert columnar.num_users == mutated.num_users
+
+    def test_dict_backed_patch_keeps_table_and_compiled_in_sync(self):
+        instance = build_random_instance(seed=3)
+        compiled_before = instance.compiled()
+        delta = random_delta(instance, seed=3)
+        apply_delta(instance, copy_delta(delta))
+        # The cached compilation was patched in place and stays fresh.
+        assert instance.compiled() is compiled_before
+        for (user, item), vector in delta.probability_updates.items():
+            np.testing.assert_array_equal(instance.adoption.get(user, item),
+                                          vector)
+            row = compiled_before.pair_row(user, item)
+            np.testing.assert_array_equal(compiled_before.pair_probs[row],
+                                          vector)
+        for (item, t), price in delta.price_updates.items():
+            assert instance.prices[item, t] == price
+        for item, capacity in delta.capacity_updates.items():
+            assert instance.capacities[item] == capacity
+        for user, pairs in delta.new_users.items():
+            assert set(instance.adoption.items_for_user(user)) == set(pairs)
+
+    def test_probability_update_for_unknown_pair_rejected(self):
+        instance = build_random_instance(seed=1).compiled().as_instance()
+        absent = (0, 0)
+        while absent in instance.adoption:
+            absent = (absent[0], absent[1] + 1)
+        delta = InstanceDelta(probability_updates={
+            absent: np.full(instance.horizon, 0.5)
+        })
+        with pytest.raises(ValueError, match="absent from the candidate table"):
+            apply_delta(instance, delta)
+
+    def test_non_contiguous_new_users_rejected(self):
+        instance = build_random_instance(seed=1).compiled().as_instance()
+        delta = InstanceDelta(new_users={
+            instance.num_users + 1: {0: np.full(instance.horizon, 0.5)}
+        })
+        with pytest.raises(ValueError, match="contiguous"):
+            apply_delta(instance, delta)
+
+    def test_out_of_range_price_cell_rejected(self):
+        instance = build_random_instance(seed=1).compiled().as_instance()
+        delta = InstanceDelta(price_updates={
+            (instance.num_items, 0): 3.0
+        })
+        with pytest.raises(ValueError, match="price matrix"):
+            apply_delta(instance, delta)
+
+    def test_rejected_delta_changes_nothing(self):
+        """Validation happens before the first write (atomicity)."""
+        instance = build_random_instance(seed=9).compiled().as_instance()
+        compiled = instance.compiled()
+        probs_before = compiled.pair_probs.copy()
+        prices_before = compiled.prices.copy()
+        pair = next(iter(instance.adoption.pairs()))
+        delta = InstanceDelta(
+            price_updates={(0, 0): 123.0},
+            probability_updates={pair: np.full(instance.horizon, 0.25)},
+            new_users={instance.num_users + 5: {}},  # non-contiguous: rejected
+        )
+        with pytest.raises(ValueError, match="contiguous"):
+            apply_delta(instance, delta)
+        np.testing.assert_array_equal(compiled.pair_probs, probs_before)
+        np.testing.assert_array_equal(compiled.prices, prices_before)
+
+    def test_shard_view_rejected(self):
+        compiled = build_random_instance(seed=2).compiled()
+        shard = compiled.shard(0, 2)
+        with pytest.raises(ValueError, match="shard view"):
+            shard.apply_delta(InstanceDelta(price_updates={(0, 0): 1.0}))
+
+    def test_npz_memory_mapped_instance_copy_on_write(self, tmp_path):
+        """Deltas work on read-only memory-mapped tensors (copy-on-write)."""
+        source = build_random_instance(seed=21)
+        path = tmp_path / "instance.npz"
+        repro_io.save_instance_npz(source, path)
+        loaded = repro_io.load_instance_npz(path)
+        assert not loaded.compiled().pair_probs.flags.writeable
+        delta = random_delta(loaded, seed=21)
+        apply_delta(loaded, copy_delta(delta))
+
+        mutated = build_random_instance(seed=21)
+        apply_delta(mutated, copy_delta(delta))
+        np.testing.assert_array_equal(loaded.compiled().pair_probs,
+                                      mutated.compiled().pair_probs)
+        np.testing.assert_array_equal(loaded.prices, mutated.prices)
+        # The original archive on disk is untouched.
+        reloaded = repro_io.load_instance_npz(path)
+        np.testing.assert_array_equal(reloaded.prices, source.prices)
+
+    def test_rows_of_item(self):
+        compiled = build_random_instance(seed=7).compiled()
+        for item in range(compiled.num_items):
+            rows = compiled.rows_of_item(item)
+            np.testing.assert_array_equal(
+                rows, np.flatnonzero(compiled.pair_item == item)
+            )
+        with pytest.raises(ValueError, match="outside"):
+            compiled.rows_of_item(compiled.num_items)
+
+
+# ----------------------------------------------------------------------
+# the incremental solver
+# ----------------------------------------------------------------------
+class TestIncrementalSolver:
+    def test_requires_numpy_backend(self, small_instance):
+        with pytest.raises(ValueError, match="numpy backend"):
+            IncrementalSolver(small_instance, backend="python")
+
+    def test_cold_solve_matches_global_greedy(self, small_instance):
+        solver = IncrementalSolver(small_instance)
+        strategy = solver.solve()
+        reference, curve = cold_reference(build_random_instance(seed=42))
+        assert sorted(strategy.triples()) == reference
+        assert solver.growth_curve == curve
+        assert solver.last_stats["mode"] == "cold"
+
+    @pytest.mark.parametrize("params,seeds", [
+        (MERGE_FRIENDLY, range(8)),
+        (BREAK_FRIENDLY, range(8)),
+    ])
+    def test_resolve_bit_identical_to_cold(self, params, seeds):
+        """The core contract, across delta kinds and both re-solve modes."""
+        modes = set()
+        for seed in seeds:
+            instance = build_random_instance(seed=seed, **params)
+            solver = IncrementalSolver(instance)
+            solver.solve()
+            delta = random_delta(instance, seed=seed)
+            strategy = solver.resolve(copy_delta(delta))
+            modes.add(solver.last_stats["mode"])
+
+            mutated = build_random_instance(seed=seed, **params)
+            apply_delta(mutated, copy_delta(delta))
+            reference, curve = cold_reference(mutated)
+            assert sorted(strategy.triples()) == reference
+            assert solver.growth_curve == curve
+        # Both parametrizations must at least exercise their expected path.
+        assert modes <= {"merge", "replay"}
+
+    def test_merge_mode_reached(self):
+        """The fast path actually runs on saturating instances."""
+        merges = 0
+        for seed in range(10):
+            instance = build_random_instance(seed=seed, **MERGE_FRIENDLY)
+            solver = IncrementalSolver(instance)
+            solver.solve()
+            pair = sorted(instance.adoption.pairs())[0]
+            rng = np.random.default_rng(seed)
+            solver.resolve(InstanceDelta(probability_updates={
+                pair: rng.uniform(0.5, 1.0, size=instance.horizon)
+            }))
+            if solver.last_stats["mode"] == "merge":
+                merges += 1
+                assert solver.last_stats["dirty_users"] == 1
+        assert merges > 0
+
+    def test_empty_delta_is_identity(self):
+        for seed in range(4):
+            instance = build_random_instance(seed=seed, **MERGE_FRIENDLY)
+            solver = IncrementalSolver(instance)
+            first = sorted(solver.solve().triples())
+            curve = list(solver.growth_curve)
+            again = solver.resolve()
+            assert sorted(again.triples()) == first
+            assert solver.growth_curve == curve
+
+    def test_chained_deltas(self):
+        """Warm state survives across resolves (delta after delta)."""
+        seed = 4
+        instance = build_random_instance(seed=seed, **MERGE_FRIENDLY)
+        solver = IncrementalSolver(instance)
+        solver.solve()
+        deltas = [random_delta(instance, seed=100 + step,
+                               with_new_users=False) for step in range(3)]
+        for delta in deltas:
+            solver.resolve(copy_delta(delta))
+
+        mutated = build_random_instance(seed=seed, **MERGE_FRIENDLY)
+        for delta in deltas:
+            apply_delta(mutated, copy_delta(delta))
+        reference, curve = cold_reference(mutated)
+        assert sorted(solver.strategy.triples()) == reference
+        assert solver.growth_curve == curve
+
+    def test_resolve_without_solve_runs_cold(self):
+        instance = build_random_instance(seed=2, **MERGE_FRIENDLY)
+        solver = IncrementalSolver(instance)
+        delta = random_delta(instance, seed=2)
+        strategy = solver.resolve(copy_delta(delta))
+        assert solver.last_stats["fallback_reason"] == "no warm state"
+
+        mutated = build_random_instance(seed=2, **MERGE_FRIENDLY)
+        apply_delta(mutated, copy_delta(delta))
+        reference, _ = cold_reference(mutated)
+        assert sorted(strategy.triples()) == reference
+
+    def test_state_round_trip(self, tmp_path):
+        """Persisted warm state warm-starts a fresh process bit-identically."""
+        seed = 6
+        instance = build_random_instance(seed=seed, **MERGE_FRIENDLY)
+        solver = IncrementalSolver(instance)
+        solver.solve()
+        path = tmp_path / "state.json"
+        repro_io.save_solver_state(solver.state(), path)
+
+        loaded_state = repro_io.load_solver_state(path)
+        assert loaded_state.growth_curve() == solver.growth_curve
+        assert sorted(loaded_state.triples()) == sorted(
+            solver.strategy.triples()
+        )
+        twin_instance = build_random_instance(seed=seed, **MERGE_FRIENDLY)
+        twin = IncrementalSolver.from_state(twin_instance, loaded_state)
+        assert sorted(twin.strategy.triples()) == sorted(
+            solver.strategy.triples()
+        )
+        assert twin.growth_curve == solver.growth_curve
+
+        delta = random_delta(instance, seed=seed)
+        solver.resolve(copy_delta(delta))
+        twin.resolve(copy_delta(delta))
+        assert sorted(twin.strategy.triples()) == sorted(
+            solver.strategy.triples()
+        )
+        assert twin.growth_curve == solver.growth_curve
+        assert twin.last_stats["mode"] == solver.last_stats["mode"]
+
+    def test_state_requires_a_solve(self, small_instance):
+        with pytest.raises(ValueError, match="solve"):
+            IncrementalSolver(small_instance).state()
+
+    def test_state_rejected_against_different_instance(self, tmp_path):
+        """A warm state is digest-bound to the tensors it came from."""
+        seed = 6
+        instance = build_random_instance(seed=seed, **MERGE_FRIENDLY)
+        solver = IncrementalSolver(instance)
+        solver.solve()
+        solver.resolve(random_delta(instance, seed=seed,
+                                    with_new_users=False))
+        path = tmp_path / "state.json"
+        repro_io.save_solver_state(solver.state(), path)
+        # The pre-delta twin is NOT the instance the state was computed on.
+        stale_twin = build_random_instance(seed=seed, **MERGE_FRIENDLY)
+        with pytest.raises(ValueError, match="does not match"):
+            IncrementalSolver.from_state(stale_twin,
+                                         repro_io.load_solver_state(path))
+
+    def test_external_mutation_invalidates_warm_state(self):
+        """Deltas applied around the solver force a cold re-solve."""
+        seed = 3
+        instance = build_random_instance(seed=seed, **MERGE_FRIENDLY)
+        solver = IncrementalSolver(instance)
+        solver.solve()
+        sneaky = random_delta(instance, seed=seed, with_new_users=False)
+        apply_delta(instance, copy_delta(sneaky))  # behind the solver's back
+        strategy = solver.resolve()
+        assert solver.last_stats["fallback_reason"] == (
+            "instance mutated outside the solver"
+        )
+        mutated = build_random_instance(seed=seed, **MERGE_FRIENDLY)
+        apply_delta(mutated, copy_delta(sneaky))
+        reference, curve = cold_reference(mutated)
+        assert sorted(strategy.triples()) == reference
+        assert solver.growth_curve == curve
+
+
+# ----------------------------------------------------------------------
+# GlobalGreedy.resolve wiring
+# ----------------------------------------------------------------------
+class TestGlobalGreedyResolve:
+    def test_warm_resolve_matches_build_strategy(self):
+        seed = 1
+        instance = build_random_instance(seed=seed, **MERGE_FRIENDLY)
+        algorithm = GlobalGreedy(backend="numpy")
+        algorithm.resolve(instance)  # cold, primes the warm state
+        delta = random_delta(instance, seed=seed)
+        strategy = algorithm.resolve(instance, copy_delta(delta))
+        assert algorithm.last_extras["resolve"]["mode"] in ("merge", "replay")
+
+        mutated = build_random_instance(seed=seed, **MERGE_FRIENDLY)
+        apply_delta(mutated, copy_delta(delta))
+        reference, curve = cold_reference(mutated)
+        assert sorted(strategy.triples()) == reference
+        assert algorithm.last_growth_curve == curve
+
+    def test_incompatible_configuration_resolves_cold(self):
+        seed = 8
+        instance = build_random_instance(seed=seed, **MERGE_FRIENDLY)
+        algorithm = GlobalGreedy(backend="numpy", ignore_saturation=True)
+        delta = random_delta(instance, seed=seed)
+        strategy = algorithm.resolve(instance, copy_delta(delta))
+        assert algorithm.last_extras["resolve"]["mode"] == "cold"
+
+        mutated = build_random_instance(seed=seed, **MERGE_FRIENDLY)
+        apply_delta(mutated, copy_delta(delta))
+        reference = GlobalGreedy(backend="numpy",
+                                 ignore_saturation=True).build_strategy(mutated)
+        assert sorted(strategy.triples()) == sorted(reference.triples())

@@ -34,6 +34,29 @@ def _brute_force_dcs(edges, left_degrees, right_degrees):
     return best
 
 
+def _brute_force_min_cost(edges, flow):
+    """Cheapest way to ship exactly ``flow`` units (tiny integral graphs)."""
+    target = int(round(flow))
+    best = None
+    for assignment in itertools.product(
+        *[range(capacity + 1) for (_, _, capacity, _) in edges]
+    ):
+        balance = {}
+        cost = 0.0
+        for (u, v, _, edge_cost), f in zip(edges, assignment):
+            balance[u] = balance.get(u, 0) + f
+            balance[v] = balance.get(v, 0) - f
+            cost += edge_cost * f
+        if balance.get("s", 0) != target or balance.get("t", 0) != -target:
+            continue
+        if any(b != 0 for node, b in balance.items()
+               if node not in ("s", "t")):
+            continue
+        if best is None or cost < best:
+            best = cost
+    return best
+
+
 class TestMinCostFlow:
     def test_simple_shortest_path_flow(self):
         network = MinCostFlow()
@@ -88,6 +111,90 @@ class TestMinCostFlow:
         result = network.solve("s", "t", max_flow=1)
         assert result.edge_flows[cheap] == pytest.approx(1.0)
         assert result.edge_flows[pricey] == pytest.approx(0.0)
+
+    def test_add_node_is_idempotent(self):
+        network = MinCostFlow()
+        first = network.add_node("a")
+        assert network.add_node("a") == first
+        assert network.num_nodes == 1
+        network.add_edge("a", "b", 1, 0.0)
+        assert network.num_nodes == 2
+
+    def test_rerouting_through_backward_arcs(self):
+        """Min-cost flow must undo a greedy path via residual (backward) arcs.
+
+        The classic diamond: the cheapest single path uses the middle arc,
+        but shipping two units requires rerouting that unit -- the second
+        augmentation travels the middle arc *backwards*.  A solver without
+        working residual arcs ships only one unit or overpays.
+        """
+        network = MinCostFlow()
+        network.add_edge("s", "a", 1, 1.0)
+        network.add_edge("s", "b", 1, 4.0)
+        middle = network.add_edge("a", "b", 1, 0.0)
+        network.add_edge("a", "t", 1, 4.0)
+        network.add_edge("b", "t", 2, 1.0)
+        result = network.solve("s", "t")
+        assert result.flow_value == pytest.approx(2.0)
+        # s-a-b-t (2) plus s-b-t (5): the a->b unit stays; the expensive
+        # a->t arc is never used.
+        assert result.total_cost == pytest.approx(7.0)
+        assert result.edge_flows[middle] == pytest.approx(1.0)
+
+    def test_negative_cost_cycle_free_graph_with_bellman_ford_start(self):
+        """Negative arcs force the Bellman-Ford potential initialisation."""
+        network = MinCostFlow()
+        network.add_edge("s", "a", 2, -3.0)
+        network.add_edge("a", "b", 2, -2.0)
+        network.add_edge("b", "t", 2, 4.0)
+        result = network.solve("s", "t")
+        assert result.flow_value == pytest.approx(2.0)
+        assert result.total_cost == pytest.approx(2 * (-3.0 - 2.0 + 4.0))
+
+    def test_early_stop_skips_breakeven_paths(self):
+        """stop_when_nonnegative stops at cost 0 paths, not only positive."""
+        network = MinCostFlow()
+        network.add_edge("s", "a", 1, -1.0)
+        network.add_edge("a", "t", 1, 1.0)
+        result = network.solve("s", "t", stop_when_nonnegative=True)
+        assert result.flow_value == pytest.approx(0.0)
+        assert result.total_cost == pytest.approx(0.0)
+
+    def test_zero_max_flow(self):
+        network = MinCostFlow()
+        network.add_edge("s", "t", 3, 1.0)
+        result = network.solve("s", "t", max_flow=0)
+        assert result.flow_value == 0.0
+        assert result.total_cost == 0.0
+
+    def test_source_equals_sink(self):
+        network = MinCostFlow()
+        network.add_edge("s", "t", 1, 1.0)
+        result = network.solve("s", "s")
+        assert result.flow_value == 0.0
+
+    def test_matches_brute_force_min_cost_on_random_graphs(self):
+        """Successive-shortest-paths equals exhaustive search (tiny DAGs)."""
+        rng = np.random.default_rng(7)
+        for trial in range(15):
+            nodes = ["s", "a", "b", "c", "t"]
+            edges = []
+            for i, u in enumerate(nodes):
+                for v in nodes[i + 1:]:
+                    if rng.random() < 0.7:
+                        edges.append((u, v, int(rng.integers(1, 3)),
+                                      float(rng.integers(-4, 6))))
+            network = MinCostFlow()
+            for u, v, capacity, cost in edges:
+                network.add_edge(u, v, capacity, cost)
+            if "s" not in network._index or "t" not in network._index:
+                continue
+            want = network.solve("s", "t", max_flow=2)
+            best = _brute_force_min_cost(edges, flow=want.flow_value)
+            assert want.total_cost == pytest.approx(best, abs=1e-9), (
+                f"trial {trial}: solver cost {want.total_cost} vs "
+                f"brute force {best}"
+            )
 
 
 class TestMaxDCS:

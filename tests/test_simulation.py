@@ -98,6 +98,54 @@ class TestMonteCarloOracle:
                 exact, abs=0.02
             )
 
+    def test_same_seed_is_deterministic(self):
+        probabilities = [0.3, 0.6, 0.2]
+        first = MonteCarloCapacityOracle(num_samples=500, seed=7)
+        second = MonteCarloCapacityOracle(num_samples=500, seed=7)
+        assert first.at_most(probabilities, 1) == second.at_most(
+            probabilities, 1
+        )
+
+    def test_num_samples_property(self):
+        assert MonteCarloCapacityOracle(num_samples=123).num_samples == 123
+
+    def test_degenerate_probabilities(self):
+        """Certain and impossible adopters collapse the distribution."""
+        oracle = MonteCarloCapacityOracle(num_samples=200, seed=0)
+        assert oracle.at_most([1.0, 1.0], 1) == 0.0
+        assert oracle.at_most([0.0, 0.0], 0) == 1.0
+
+
+class TestPoissonBinomialEdges:
+    """Direct edge coverage of the exact DP (Definition 4's oracle)."""
+
+    def test_certain_adopters_saturate_the_absorbing_state(self):
+        assert poisson_binomial_at_most([1.0, 1.0, 1.0], 1) == 0.0
+        assert poisson_binomial_at_most([1.0, 1.0, 1.0], 2) == 0.0
+
+    def test_impossible_adopters_contribute_nothing(self):
+        assert poisson_binomial_at_most([0.0, 0.0, 0.4], 0) == pytest.approx(
+            0.6
+        )
+
+    def test_threshold_exactly_count_minus_one(self):
+        # Pr[X <= n-1] = 1 - Pr[all adopt].
+        probabilities = [0.5, 0.25, 0.8]
+        assert poisson_binomial_at_most(probabilities, 2) == pytest.approx(
+            1.0 - 0.5 * 0.25 * 0.8
+        )
+
+    def test_monotone_in_threshold(self):
+        probabilities = [0.1, 0.9, 0.5, 0.3]
+        values = [poisson_binomial_at_most(probabilities, threshold)
+                  for threshold in range(-1, 6)]
+        assert values == sorted(values)
+        assert values[0] == 0.0 and values[-1] == 1.0
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_at_most([-0.1], 0)
+
 
 class TestAdoptionSimulator:
     def test_zero_runs_rejected(self, small_instance):
