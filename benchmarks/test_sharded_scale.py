@@ -16,7 +16,14 @@ benchmark scale (T = 5, the paper's horizon) -- and gates the win:
   workers -- the speedup gate applies when the machine actually has >= 4
   cores and the scale is not the CI smoke tier; otherwise the numbers are
   recorded as telemetry with a sanity bound only (a single-core box pays
-  pure process overhead and cannot certify parallel speedups).
+  pure process overhead and cannot certify parallel speedups);
+* the **auto head-to-head** reruns the same selection with
+  ``shards="auto"`` and asserts the measured cost model
+  (:mod:`repro.autotune`) never loses to the fixed 4-worker configuration:
+  on a single-core box auto degrades to the serial path and beats
+  always-parallel outright, on a many-core box it picks sharding and
+  matches it.  The decision and its calibrated cost model are recorded in
+  the bench JSON.
 
 Results are recorded to ``BENCH_shard.json`` (atomically; see
 ``write_bench_json``) so the roadmap's BENCH trajectory and the nightly
@@ -104,12 +111,14 @@ def _timed_selection(instance, shards, jobs):
     start = time.perf_counter()
     selector.select(strategy, None, growth_curve=growth_curve)
     seconds = time.perf_counter() - start
+    decision = selector.last_parallel_decision
     return {
         "seconds": seconds,
         "growth_curve": growth_curve,
         "revenue": growth_curve[-1][1] if growth_curve else 0.0,
         "admitted": len(strategy),
         "triples": sorted(strategy.triples()),
+        "decision": None if decision is None else decision.as_dict(),
     }
 
 
@@ -141,12 +150,25 @@ def _run_sweep():
     second_serial = _timed_selection(instance, shards=None, jobs=None)
     if second_serial["seconds"] < serial_result["seconds"]:
         serial_result = second_serial
+
+    # Auto head-to-head: same selection, shards picked by the measured cost
+    # model.  Judged against the fixed 4-worker configuration it replaces --
+    # a single-core box degrades to serial and beats always-parallel
+    # outright, a many-core box picks sharding and matches it.
+    auto_result = _timed_selection(instance, shards="auto", jobs="auto")
+    second_auto = _timed_selection(instance, shards="auto", jobs="auto")
+    if second_auto["seconds"] < auto_result["seconds"]:
+        auto_result = second_auto
     return {
         "points": points,
         "gate": gate,
         "sharded": sharded_result,
         "serial": serial_result,
+        "auto": auto_result,
         "speedup": serial_result["seconds"] / sharded_result["seconds"],
+        "auto_speedup": sharded_result["seconds"] / auto_result["seconds"],
+        "auto_speedup_vs_serial":
+            serial_result["seconds"] / auto_result["seconds"],
     }
 
 
@@ -170,6 +192,18 @@ def test_sharded_scalability_sweep(benchmark):
         f"sharded({WORKERS}) {stats['sharded']['seconds']:.2f}s "
         f"-> {stats['speedup']:.2f}x (gate >= {stats['gate']}x)"
     )
+    auto_decision = stats["auto"]["decision"]
+    auto_gate = float(os.environ.get(
+        "REPRO_AUTO_SPEEDUP_GATE", 1.0 if cores < WORKERS else 0.9
+    ))
+    print(
+        f"auto head-to-head: shards='auto' resolved to "
+        f"{'sharded' if auto_decision and auto_decision['parallel'] else 'serial'} "
+        f"in {stats['auto']['seconds']:.2f}s -> {stats['auto_speedup']:.2f}x "
+        f"vs fixed sharded({WORKERS}), "
+        f"{stats['auto_speedup_vs_serial']:.2f}x vs serial "
+        f"(gate >= {auto_gate}x)"
+    )
 
     bit_identical = (
         stats["sharded"]["growth_curve"] == stats["serial"]["growth_curve"]
@@ -190,6 +224,18 @@ def test_sharded_scalability_sweep(benchmark):
             "gate": stats["gate"],
             "revenue": stats["sharded"]["revenue"],
             "bit_identical": bit_identical,
+            "auto": {
+                "seconds": stats["auto"]["seconds"],
+                "speedup": stats["auto_speedup"],
+                "speedup_vs_serial": stats["auto_speedup_vs_serial"],
+                "gate": auto_gate,
+                "decision": auto_decision,
+                "bit_identical": (
+                    stats["auto"]["growth_curve"]
+                    == stats["serial"]["growth_curve"]
+                    and stats["auto"]["triples"] == stats["serial"]["triples"]
+                ),
+            },
         },
     })
 
@@ -207,3 +253,12 @@ def test_sharded_scalability_sweep(benchmark):
     # ... and partitioning pays at least the gated factor (>= 2x at 4
     # workers wherever >= 4 cores exist; telemetry-only below that).
     assert stats["speedup"] >= stats["gate"]
+    # The auto configuration never loses to always-parallel: on a
+    # single-core box the cost model must degrade to serial (and the
+    # avoided process overhead is the speedup), on a many-core box it may
+    # shard and merely has to match the fixed configuration.
+    assert stats["auto"]["growth_curve"] == stats["serial"]["growth_curve"]
+    assert stats["auto"]["triples"] == stats["serial"]["triples"]
+    if cores < WORKERS:
+        assert auto_decision is None or not auto_decision["parallel"]
+    assert stats["auto_speedup"] >= auto_gate

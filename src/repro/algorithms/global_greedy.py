@@ -24,7 +24,7 @@ sub-horizon at a time.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.core.constraints import ConstraintChecker
 from repro.core.problem import RevMaxInstance
@@ -54,10 +54,16 @@ class GlobalGreedy(RevMaxAlgorithm):
             benchmarks).
         shards: partition users into this many contiguous shards and select
             across worker processes (:mod:`repro.shard`; ``0``: one per
-            core).  Results are bit-identical to the serial run; worth it
-            once instances reach hundreds of thousands of candidate pairs.
-        jobs: worker processes for the sharded path (``None``: one per
-            shard, capped at the core count; ``1``: shards in-process).
+            core).  ``"auto"`` lets the measured cost model
+            (:mod:`repro.autotune`) pick between per-core sharding and the
+            serial columnar path, recording its decision in
+            ``last_extras["parallel"]``.  Results are bit-identical to the
+            serial run; explicit counts are worth it once instances reach
+            hundreds of thousands of candidate pairs *and* the cores are
+            there.
+        jobs: worker processes for the sharded path (``None``/``"auto"``:
+            one per shard, capped at the core count; ``1``: shards
+            in-process).
     """
 
     name = "G-Greedy"
@@ -67,8 +73,8 @@ class GlobalGreedy(RevMaxAlgorithm):
                  ignore_saturation: bool = False,
                  backend: Optional[str] = None,
                  use_compiled: Optional[bool] = None,
-                 shards: Optional[int] = None,
-                 jobs: Optional[int] = None) -> None:
+                 shards: Union[int, str, None] = None,
+                 jobs: Union[int, str, None] = None) -> None:
         self._use_lazy_forward = use_lazy_forward
         self._use_two_level_heap = use_two_level_heap
         self._ignore_saturation = ignore_saturation
@@ -143,6 +149,9 @@ class GlobalGreedy(RevMaxAlgorithm):
         }
         if self._shards is not None:
             self.last_extras["shards"] = self._shards
+        decision = selector.last_parallel_decision
+        if decision is not None:
+            self.last_extras["parallel"] = decision.as_dict()
         return strategy
 
     @staticmethod
@@ -223,7 +232,7 @@ class GlobalGreedyNoSaturation(GlobalGreedy):
     name = "GlobalNo"
 
     def __init__(self, backend: Optional[str] = None,
-                 shards: Optional[int] = None,
-                 jobs: Optional[int] = None) -> None:
+                 shards: Union[int, str, None] = None,
+                 jobs: Union[int, str, None] = None) -> None:
         super().__init__(ignore_saturation=True, backend=backend,
                          shards=shards, jobs=jobs)

@@ -1,0 +1,325 @@
+"""Auto-degrading parallelism: a measured cost model for shards/jobs.
+
+``BENCH_shard.json`` records the sharded solver *losing* at low core
+counts (0.38x at ``cpu_count: 1`` on the 400k-user head-to-head) and
+``BENCH_selection.json`` records 0.32x for the parallel RL runner: process
+spawn, shared-memory publication and coordinator round trips are pure
+overhead when the cores are not there.  This module decides -- from a
+micro-probe of the actual machine, not a guess -- whether partitioned
+execution can win, so ``shards="auto"`` / ``jobs="auto"`` degrade to the
+serial columnar path exactly where parallelism would lose:
+
+* :func:`cost_model` calibrates once per process: the per-pair cost of
+  the vectorized seeding sweep (a small timed slice of the same
+  price-gather-times-probability arithmetic) and the cost of spawning and
+  joining one worker process;
+* :func:`decide_shards` / :func:`decide_jobs` turn a request
+  (``"auto"``, an explicit count, ``0`` for per-core, or ``None``) into
+  an effective setting plus a :class:`ParallelDecision` record carrying
+  the prediction, so callers can surface ``degraded: true`` and the
+  calibration numbers in experiment records and bench JSON.
+
+Explicit requests are honoured (tests and ablations must be able to force
+the sharded engine anywhere) but warned about -- one line -- when the
+model predicts they lose; the ``"auto"`` mode, the CLI default, silently
+picks the winner.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "AUTO",
+    "ParallelCostModel",
+    "ParallelDecision",
+    "cost_model",
+    "decide_jobs",
+    "decide_shards",
+    "override_losing_request",
+    "reset_cost_model",
+    "warn_if_losing",
+]
+
+#: Sentinel request value: let the cost model pick.
+AUTO = "auto"
+
+#: Minimum predicted speedup before parallelism is worth process overhead;
+#: the margin absorbs calibration noise (a predicted 1.02x is a coin flip).
+MIN_PREDICTED_SPEEDUP = 1.1
+
+#: Rows of the seeding micro-probe (big enough to amortize dispatch,
+#: small enough to stay well under a millisecond).
+_PROBE_ROWS = 65_536
+_PROBE_HORIZON = 5
+
+ShardRequest = Union[str, int, None]
+
+
+@dataclass(frozen=True)
+class ParallelCostModel:
+    """Per-machine calibration behind the auto decisions.
+
+    Attributes:
+        cpu_count: cores visible to the process.
+        spawn_overhead_seconds: measured cost of spawning + joining one
+            worker process (0.0 when the probe is skipped on single-core
+            machines, where no decision ever needs it).
+        per_pair_seconds: measured per-candidate-pair cost of the
+            vectorized seeding sweep the sharded workers parallelize.
+    """
+
+    cpu_count: int
+    spawn_overhead_seconds: float
+    per_pair_seconds: float
+
+    def predicted_shard_speedup(self, num_pairs: int, workers: int) -> float:
+        """Predicted serial/sharded wall-clock ratio for one selection.
+
+        The sharded path splits the per-pair sweep across
+        ``min(workers, cpu_count)`` truly concurrent processes but pays
+        spawn overhead per worker (startup, shared-memory attach, shutdown
+        all sit inside the measured region; see
+        ``benchmarks/test_sharded_scale.py``).
+        """
+        workers = max(1, int(workers))
+        serial = max(num_pairs, 1) * self.per_pair_seconds
+        concurrency = max(1, min(workers, self.cpu_count))
+        parallel = serial / concurrency + self.spawn_overhead_seconds * workers
+        return serial / parallel if parallel > 0.0 else 1.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready calibration record for the bench writers."""
+        return {
+            "cpu_count": self.cpu_count,
+            "spawn_overhead_seconds": self.spawn_overhead_seconds,
+            "per_pair_seconds": self.per_pair_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class ParallelDecision:
+    """Outcome of one auto-parallelism decision.
+
+    ``degraded`` is True exactly when an *explicit* parallel request was
+    predicted to lose -- the signal experiment records surface so a user
+    who forced ``shards=4`` on a laptop can see why it was slow (or, at
+    the CLI where auto overrides, why it was ignored).
+    """
+
+    kind: str  # "shards" or "jobs"
+    requested: ShardRequest
+    effective: Optional[int]
+    predicted_speedup: float
+    degraded: bool
+    reason: str
+    model: Dict[str, float]
+
+    @property
+    def parallel(self) -> bool:
+        return self.effective is not None and self.effective != 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "requested": self.requested,
+            "effective": self.effective,
+            "parallel": self.parallel,
+            "predicted_speedup": self.predicted_speedup,
+            "degraded": self.degraded,
+            "reason": self.reason,
+            "cost_model": dict(self.model),
+        }
+
+
+_cost_model: Optional[ParallelCostModel] = None
+
+
+def _probe_per_pair_seconds() -> float:
+    """Time the per-pair cost of the isolated-revenue seeding sweep.
+
+    The sharded workers' dominant parallelizable work is the vectorized
+    ``prices[pair_item] * pair_probs`` gather plus the row-max of the
+    frontier build; the probe runs the same shape on a 65k-row slice.
+    """
+    rng = np.random.default_rng(12345)
+    probs = rng.random((_PROBE_ROWS, _PROBE_HORIZON))
+    prices = rng.random((256, _PROBE_HORIZON))
+    items = rng.integers(0, 256, _PROBE_ROWS)
+    # Warm-up pass keeps allocator/page-fault noise out of the timing.
+    (prices[items] * probs).max(axis=1)
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        (prices[items] * probs).max(axis=1)
+        best = min(best, time.perf_counter() - start)
+    return best / _PROBE_ROWS
+
+
+def _probe_spawn_overhead_seconds() -> float:
+    """Measure spawning + joining one worker process (fork-first context)."""
+    from repro.parallel import pool_context
+
+    context = pool_context()
+    start = time.perf_counter()
+    process = context.Process(target=_noop)
+    process.start()
+    process.join()
+    return time.perf_counter() - start
+
+
+def _noop() -> None:  # pragma: no cover - runs in the probe subprocess
+    pass
+
+
+def cost_model(refresh: bool = False) -> ParallelCostModel:
+    """The process-wide calibration, probing the machine on first use.
+
+    Single-core machines skip the spawn probe entirely (every decision is
+    serial regardless), so the common laptop/CI case pays only the
+    sub-millisecond seeding probe.
+    """
+    global _cost_model
+    if _cost_model is None or refresh:
+        cores = os.cpu_count() or 1
+        spawn = _probe_spawn_overhead_seconds() if cores >= 2 else 0.0
+        _cost_model = ParallelCostModel(
+            cpu_count=cores,
+            spawn_overhead_seconds=spawn,
+            per_pair_seconds=_probe_per_pair_seconds(),
+        )
+    return _cost_model
+
+
+def reset_cost_model() -> None:
+    """Drop the cached calibration (tests that monkeypatch the probes)."""
+    global _cost_model
+    _cost_model = None
+
+
+def decide_shards(num_pairs: int, requested: ShardRequest = AUTO,
+                  model: Optional[ParallelCostModel] = None) -> ParallelDecision:
+    """Resolve a shards request against the measured cost model.
+
+    ``"auto"`` picks per-core sharding where the prediction clears
+    :data:`MIN_PREDICTED_SPEEDUP` and the serial columnar path everywhere
+    else.  Explicit counts (including ``0`` = per-core) are kept as the
+    effective value -- the caller decides whether to honour or override --
+    with ``degraded`` flagging a predicted loss.
+    """
+    model = model or cost_model()
+    if requested is None or requested == 1:
+        return ParallelDecision(
+            "shards", requested, None if requested is None else 1,
+            1.0, False, "serial requested", model.as_dict(),
+        )
+    workers = model.cpu_count if requested in (AUTO, 0) else int(requested)
+    speedup = model.predicted_shard_speedup(num_pairs, workers)
+    wins = model.cpu_count >= 2 and speedup >= MIN_PREDICTED_SPEEDUP
+    if requested == AUTO:
+        if wins:
+            reason = (f"predicted {speedup:.2f}x at {workers} workers "
+                      f"on {model.cpu_count} cores")
+            return ParallelDecision("shards", requested, 0, speedup,
+                                    False, reason, model.as_dict())
+        reason = (f"parallelism predicted to lose ({speedup:.2f}x at "
+                  f"{workers} workers on {model.cpu_count} cores); "
+                  "using the serial columnar path")
+        return ParallelDecision("shards", requested, None, speedup,
+                                False, reason, model.as_dict())
+    effective = int(requested)
+    if wins:
+        reason = f"predicted {speedup:.2f}x at {workers} workers"
+        return ParallelDecision("shards", requested, effective, speedup,
+                                False, reason, model.as_dict())
+    reason = (f"shards={requested} predicted to lose ({speedup:.2f}x on "
+              f"{model.cpu_count} cores)")
+    return ParallelDecision("shards", requested, effective, speedup,
+                            True, reason, model.as_dict())
+
+
+def decide_jobs(num_tasks: int, requested: ShardRequest = AUTO,
+                model: Optional[ParallelCostModel] = None) -> ParallelDecision:
+    """Resolve a jobs request (parallel permutation runs) the same way.
+
+    Per-task cost is workload-dependent, so the jobs rule is structural:
+    parallel workers need at least two real cores and at least two tasks;
+    the persistent pool (:mod:`repro.parallel`) amortizes the spawn cost
+    that made small permutation counts lose.
+    """
+    model = model or cost_model()
+    if requested is None or requested == 1:
+        return ParallelDecision(
+            "jobs", requested, None if requested is None else 1,
+            1.0, False, "serial requested", model.as_dict(),
+        )
+    wins = model.cpu_count >= 2 and num_tasks >= 2
+    if requested == AUTO:
+        if wins:
+            effective = min(model.cpu_count, num_tasks)
+            reason = f"{effective} workers on {model.cpu_count} cores"
+            return ParallelDecision("jobs", requested, effective, 1.0,
+                                    False, reason, model.as_dict())
+        reason = (f"parallel jobs predicted to lose on "
+                  f"{model.cpu_count} core(s); running in-process")
+        return ParallelDecision("jobs", requested, None, 1.0,
+                                False, reason, model.as_dict())
+    effective = int(requested)
+    if wins:
+        return ParallelDecision("jobs", requested, effective, 1.0, False,
+                                f"{effective} workers requested",
+                                model.as_dict())
+    reason = (f"jobs={requested} predicted to lose on "
+              f"{model.cpu_count} core(s)")
+    return ParallelDecision("jobs", requested, effective, 1.0, True,
+                            reason, model.as_dict())
+
+
+def override_losing_request(kind: str, requested: ShardRequest
+                            ) -> Tuple[ShardRequest, Optional[ParallelDecision]]:
+    """Auto-mode override of an explicit CLI/harness parallel request.
+
+    The entry points that default to ``"auto"`` (``repro solve --shards``,
+    ``standard_algorithms(gg_shards=)``) still accept explicit counts; when
+    the machine structurally cannot win -- fewer than two cores, where
+    every worker is pure spawn overhead -- the request is overridden to the
+    serial path with a one-line warning, and the returned degraded
+    :class:`ParallelDecision` is surfaced in experiment records.  On
+    multi-core machines explicit requests pass through untouched (size is
+    workload-dependent there; use ``"auto"`` for the measured decision).
+    """
+    if requested in (None, 1) or requested == AUTO:
+        return requested, None
+    model = cost_model()
+    if model.cpu_count >= 2:
+        return requested, None
+    decision = ParallelDecision(
+        kind, requested, None, 1.0, True,
+        f"{kind}={requested} requested but parallelism cannot win on "
+        f"{model.cpu_count} core(s)",
+        model.as_dict(),
+    )
+    warnings.warn(
+        f"{decision.reason}; degrading to the serial path "
+        f"(pass {kind}='auto' to silence this)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return None, decision
+
+
+def warn_if_losing(decision: ParallelDecision, context: str) -> None:
+    """Emit the one-line losing-configuration warning for explicit requests."""
+    if decision.degraded:
+        warnings.warn(
+            f"{context}: {decision.reason}; "
+            f"{decision.kind}='auto' would pick the serial path",
+            RuntimeWarning,
+            stacklevel=3,
+        )

@@ -1,0 +1,260 @@
+"""The kernel tier: optional numba-JIT execution of the G-Greedy hot loop.
+
+The columnar engine (PR 3) made compilation and heap seeding vectorized,
+but the admit/refresh loop itself still executes as Python bytecode.  This
+package compiles that loop -- and the batched revenue kernel behind
+``RevenueModel.marginal_revenue_batch`` -- to native code with numba,
+operating directly on :class:`~repro.core.compiled.CompiledInstance`'s CSR
+tensors.  The kernels are bit-identical replicas of the reference paths
+(see :mod:`repro.core.kernels.impl` for the floating-point contract), so
+switching tiers never changes a single admitted triple or growth-curve
+float; the differential suite asserts this under both settings.
+
+Tier selection mirrors the revenue-backend registry in
+:mod:`repro.core.vectorized`:
+
+* an explicit :func:`set_default_kernel` call wins;
+* otherwise the ``REPRO_KERNEL`` environment variable (``numba`` or
+  ``numpy``);
+* otherwise ``numba`` when importable, ``numpy`` when not.
+
+Requesting ``numba`` on a machine without it degrades to ``numpy`` with a
+single warning -- install with ``pip install "repro-revmax[kernels]"`` to
+enable the native tier.  ``repro info`` reports which tier is active.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.kernels import impl
+from repro.core.vectorized import vectorized_extended_group_revenues
+
+__all__ = [
+    "KERNELS",
+    "KERNEL_ENV_VAR",
+    "NUMBA_AVAILABLE",
+    "active_kernel",
+    "batched_extended_revenues",
+    "forced_kernel",
+    "get_default_kernel",
+    "kernel_info",
+    "native_enabled",
+    "native_select",
+    "numba_version",
+    "resolve_kernel",
+    "set_default_kernel",
+]
+
+#: Recognised kernel tiers.
+KERNELS: Tuple[str, ...] = ("numba", "numpy")
+
+#: Environment variable overriding the default tier for a whole process.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+# Import-time numba detection.  The JIT module is loaded lazily (first
+# native call) so that merely importing repro never pays compilation cost.
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba_module
+
+    NUMBA_AVAILABLE = True
+    _NUMBA_VERSION: Optional[str] = getattr(_numba_module, "__version__", "unknown")
+except ImportError:  # pragma: no cover - the common CI/local case
+    NUMBA_AVAILABLE = False
+    _NUMBA_VERSION = None
+
+_default_kernel: Optional[str] = None
+_jit_module = None
+_warned_fallback = False
+
+
+def numba_version() -> Optional[str]:
+    """Installed numba version, or ``None`` when numba is unavailable."""
+    return _NUMBA_VERSION
+
+
+def _fallback(requested: str, source: str) -> str:
+    """Degrade a ``numba`` request to ``numpy``, warning once per process."""
+    global _warned_fallback
+    if not _warned_fallback:
+        warnings.warn(
+            f"{source} requested the '{requested}' kernel tier but numba is "
+            "not installed; falling back to the pure-NumPy tier "
+            "(pip install 'repro-revmax[kernels]' to enable it)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        _warned_fallback = True
+    return "numpy"
+
+
+def get_default_kernel() -> str:
+    """Return the kernel tier used when no explicit choice is made.
+
+    Resolution order: :func:`set_default_kernel` override, then the
+    ``REPRO_KERNEL`` environment variable, then ``numba`` when importable
+    and ``numpy`` otherwise.
+    """
+    if _default_kernel is not None:
+        return _default_kernel
+    env = os.environ.get(KERNEL_ENV_VAR)
+    if env:
+        if env not in KERNELS:
+            raise ValueError(
+                f"{KERNEL_ENV_VAR}={env!r} is not a known kernel tier; "
+                f"expected one of {KERNELS}"
+            )
+        if env == "numba" and not NUMBA_AVAILABLE:
+            return _fallback(env, KERNEL_ENV_VAR)
+        return env
+    return "numba" if NUMBA_AVAILABLE else "numpy"
+
+
+def set_default_kernel(kernel: Optional[str]) -> None:
+    """Set the process-wide kernel tier (``None`` restores env/default)."""
+    global _default_kernel
+    if kernel is not None and kernel not in KERNELS:
+        raise ValueError(f"unknown kernel tier {kernel!r}; expected one of {KERNELS}")
+    if kernel == "numba" and not NUMBA_AVAILABLE:
+        kernel = _fallback(kernel, "set_default_kernel")
+    _default_kernel = kernel
+
+
+def resolve_kernel(kernel: Optional[str]) -> str:
+    """Validate an explicit tier choice or fall back to the default."""
+    if kernel is None:
+        return get_default_kernel()
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel tier {kernel!r}; expected one of {KERNELS}")
+    if kernel == "numba" and not NUMBA_AVAILABLE:
+        return _fallback(kernel, "kernel argument")
+    return kernel
+
+
+def active_kernel() -> str:
+    """The tier in effect right now (``numba`` or ``numpy``)."""
+    return get_default_kernel()
+
+
+def native_enabled() -> bool:
+    """True when native (JIT-compiled) kernels will actually execute.
+
+    Resolves the tier first (not ``NUMBA_AVAILABLE`` first) so that a
+    ``REPRO_KERNEL=numba`` request on a machine without numba emits its
+    fallback warning -- and an invalid value raises -- even on the solve
+    path, not just under ``repro info``.  The registry only ever resolves
+    to ``"numba"`` when numba is importable, so the tier check suffices.
+    """
+    return active_kernel() == "numba"
+
+
+@contextmanager
+def forced_kernel(kernel: Optional[str]):
+    """Temporarily force a kernel tier (benchmarks and differential tests)."""
+    previous = _default_kernel
+    set_default_kernel(kernel)
+    try:
+        yield
+    finally:
+        set_default_kernel(previous)
+
+
+def kernel_info() -> Dict[str, object]:
+    """Diagnostics for ``repro info`` and the benchmark writers."""
+    return {
+        "kernel": active_kernel(),
+        "numba_available": NUMBA_AVAILABLE,
+        "numba_version": _NUMBA_VERSION,
+        "env": os.environ.get(KERNEL_ENV_VAR),
+    }
+
+
+def jit_module():
+    """The njit-compiled twin of :mod:`.impl` (loads numba on first use)."""
+    global _jit_module
+    if _jit_module is None:
+        from repro.core.kernels import _numba
+
+        _jit_module = _numba.load()
+    return _jit_module
+
+
+def _active_module():
+    return jit_module() if native_enabled() else impl
+
+
+# ----------------------------------------------------------------------
+# dispatch wrappers (the call sites in revenue.py / selection.py)
+# ----------------------------------------------------------------------
+def batched_extended_revenues(instance, group, candidates, compiled=None):
+    """Tier-dispatched ``vectorized_extended_group_revenues``.
+
+    The numpy tier delegates to the reference NumPy broadcast kernel; the
+    numba tier gathers the same :class:`~repro.core.vectorized.GroupArrays`
+    and runs the njit replica.  Same floats either way.
+    """
+    if not native_enabled():
+        return vectorized_extended_group_revenues(
+            instance, group, candidates, compiled
+        )
+    from repro.core.vectorized import GroupArrays
+
+    cand = GroupArrays.from_group(instance, candidates, compiled)
+    if not group:
+        return cand.prices * cand.primitives
+    base = GroupArrays.from_group(instance, group, compiled)
+    return jit_module().extended_group_revenues(
+        base.times.astype(np.int64), base.items.astype(np.int64),
+        base.primitives, base.prices, base.betas,
+        cand.times.astype(np.int64), cand.items.astype(np.int64),
+        cand.primitives, cand.prices, cand.betas,
+    )
+
+
+def native_select(compiled, *, allowed_times=None, max_selections=None,
+                  module=None):
+    """Run the native admit loop over a compiled instance's tensors.
+
+    Returns ``(rows, ts, gains, counters)`` where ``counters`` carries the
+    model-counter totals (``evaluations`` / ``cache_hits`` / ``lookups``)
+    the reference serial path would have accumulated.  ``module`` defaults
+    to the JIT twin; tests pass :mod:`.impl` to execute the identical
+    source interpreted on machines without numba.
+    """
+    if module is None:
+        module = jit_module()
+    isolated = compiled.isolated_revenues()
+    seeded = isolated > 0.0
+    if allowed_times is not None:
+        allowed = np.zeros(compiled.horizon, dtype=bool)
+        for t in allowed_times:
+            if 0 <= t < compiled.horizon:
+                allowed[t] = True
+        seeded &= allowed[None, :]
+    cap = np.iinfo(np.int64).max // 2 if max_selections is None else int(max_selections)
+    rows, ts, gains, admitted, evaluations, cache_hits, lookups = module.admit_loop(
+        compiled.pair_user,
+        compiled.pair_item,
+        compiled.pair_group,
+        compiled.pair_probs,
+        compiled.prices,
+        np.ascontiguousarray(compiled.capacities, dtype=np.int64),
+        compiled.betas,
+        isolated,
+        seeded,
+        compiled.num_users,
+        compiled.num_groups,
+        compiled.display_limit,
+        cap,
+    )
+    counters = {
+        "evaluations": int(evaluations),
+        "cache_hits": int(cache_hits),
+        "lookups": int(lookups),
+    }
+    return rows[:admitted], ts[:admitted], gains[:admitted], counters

@@ -1,0 +1,37 @@
+"""numba loader: compile :mod:`repro.core.kernels.impl` to native code.
+
+The impl module is written in the nopython subset but imports nothing from
+numba, so the same source runs interpreted (tests, machines without numba)
+and compiled.  This loader executes a *second, private* copy of the module
+and rebinds every name in ``impl.KERNEL_ORDER`` to its ``@njit``
+dispatcher, in dependency order: compilation is lazy (first call), and by
+then every cross-function global already resolves to a dispatcher, so the
+whole call tree compiles nopython.  The pristine ``impl`` module is left
+untouched for interpreted use.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+from numba import njit
+
+from repro.core.kernels import impl
+
+_module = None
+
+
+def load():
+    """Return the njit-compiled twin of :mod:`repro.core.kernels.impl`."""
+    global _module
+    if _module is not None:
+        return _module
+    spec = importlib.util.spec_from_file_location(
+        "repro.core.kernels._impl_jit", impl.__file__
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    for name in impl.KERNEL_ORDER:
+        setattr(module, name, njit(cache=True)(getattr(module, name)))
+    _module = module
+    return _module

@@ -1,0 +1,737 @@
+"""Kernel-tier source: njit-able replicas of the G-Greedy hot loop.
+
+Every function in this module is written in the numba ``nopython`` subset
+(arrays, scalars, tuples, loops -- no dicts, classes or Python objects) but
+imports nothing from numba, so the identical source runs two ways:
+
+* **interpreted** -- imported as plain Python, used by the test suite to
+  assert bit-identity against the reference engine on machines without
+  numba (and as the executable specification of the kernel arithmetic);
+* **JIT-compiled** -- :mod:`repro.core.kernels._numba` loads a second copy
+  of this module and rebinds every name in :data:`KERNEL_ORDER` to its
+  ``@njit`` dispatcher, in dependency order, so the cross-function calls
+  resolve to compiled code.
+
+Bit-identity contract
+---------------------
+The kernels replicate the *exact* floating-point evaluation order of the
+reference paths they replace:
+
+* sums follow NumPy's pairwise summation (``npy_pairwise_sum``: sequential
+  below 8 terms, an 8-accumulator unrolled block up to 128, recursive
+  halving above) -- :func:`pairwise_sum`;
+* products are sequential left-to-right, matching ``np.multiply.reduce``;
+* the scalar kernels iterate groups in admission order, matching
+  :func:`repro.core.revenue.group_revenue`;
+* revenue dots replicate ``np.add.reduce(prices * probabilities)`` -- the
+  reason :mod:`repro.core.vectorized` routes its reductions through
+  ``_ordered_dot`` instead of BLAS ``@``, whose accumulation order is not
+  replicable;
+* the admit loop replicates the lazy-refresh engine of
+  :class:`repro.core.selection.LazyGreedySelector` including tie-breaking
+  ((-priority, CSR row) at the upper level, earliest time at the lower
+  level), the display-block/capacity-block discard split, the
+  non-submodular upward refresh gates, and the group-cache history
+  (an admitted candidate's scored "after" value becomes the next
+  refresh's "before" value bit for bit).
+
+The dispatch constants are duplicated from :mod:`repro.core.revenue`
+(importing it here would both create an import cycle and break numba
+compilation); ``tests/test_kernels.py`` asserts they stay in sync.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Mirror of :data:`repro.core.revenue.VECTORIZE_MIN_GROUP`.
+VECTORIZE_MIN_GROUP = 10
+#: Mirror of the batched-kernel work threshold in
+#: :meth:`repro.core.revenue.RevenueModel._extended_group_revenues`
+#: (``VECTORIZE_MIN_GROUP ** 2`` pairwise terms).
+BATCH_MIN_WORK = 100
+
+_NEG_INF = float("-inf")
+
+#: Names :mod:`._numba` rebinds to njit dispatchers, in dependency order.
+KERNEL_ORDER = (
+    "pairwise_sum",
+    "scalar_group_revenue",
+    "vectorized_group_revenue",
+    "_extended_batched",
+    "extended_group_revenues",
+    "frontier_best",
+    "frontier_best_pri_t",
+    "heap_push",
+    "heap_pop",
+    "_refresh_row",
+    "admit_loop",
+)
+
+
+def pairwise_sum(values, lo, n):
+    """Sum ``values[lo:lo+n]`` in NumPy's pairwise-summation order.
+
+    Replicates ``npy_pairwise_sum`` exactly: plain left-to-right below 8
+    elements, the 8-accumulator unrolled block up to 128, and recursive
+    halving (left half rounded down to a multiple of 8) above.  The
+    recursion is effectively dead code for REVMAX groups (bounded by
+    ``display_limit * horizon``) but kept so the replica is total.
+    """
+    if n < 8:
+        total = 0.0
+        for i in range(n):
+            total += values[lo + i]
+        return total
+    if n <= 128:
+        r0 = values[lo]
+        r1 = values[lo + 1]
+        r2 = values[lo + 2]
+        r3 = values[lo + 3]
+        r4 = values[lo + 4]
+        r5 = values[lo + 5]
+        r6 = values[lo + 6]
+        r7 = values[lo + 7]
+        i = 8
+        while i < n - (n % 8):
+            r0 += values[lo + i]
+            r1 += values[lo + i + 1]
+            r2 += values[lo + i + 2]
+            r3 += values[lo + i + 3]
+            r4 += values[lo + i + 4]
+            r5 += values[lo + i + 5]
+            r6 += values[lo + i + 6]
+            r7 += values[lo + i + 7]
+            i += 8
+        total = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+        while i < n:
+            total += values[lo + i]
+            i += 1
+        return total
+    half = n // 2
+    half -= half % 8
+    return pairwise_sum(values, lo, half) + pairwise_sum(values, lo + half, n - half)
+
+
+def scalar_group_revenue(times, items, prims, prices, betas):
+    """Replica of :func:`repro.core.revenue.group_revenue` over group arrays.
+
+    The arrays list the group's triples **in admission order** (the order
+    of the ``Strategy`` group list); the candidate, when present, is the
+    last entry -- exactly the ``group + [candidate]`` list the scalar
+    backend kernel evaluates.
+    """
+    n = times.shape[0]
+    total = 0.0
+    for j in range(n):
+        primitive = prims[j]
+        if primitive <= 0.0:
+            continue
+        t = times[j]
+        memory = 0.0
+        for k in range(n):
+            if times[k] < t:
+                memory += 1.0 / (t - times[k])
+        if memory > 0.0:
+            saturation = betas[j] ** memory
+        else:
+            saturation = 1.0
+        survival = 1.0
+        for k in range(n):
+            if k == j:
+                continue
+            if times[k] < t or (times[k] == t and items[k] != items[j]):
+                survival *= 1.0 - prims[k]
+        total += prices[j] * ((primitive * saturation) * survival)
+    return total
+
+
+def vectorized_group_revenue(times, items, prims, prices, betas):
+    """Replica of :func:`repro.core.vectorized.vectorized_group_revenue`.
+
+    Memory terms are pairwise sums over the *full* masked delta row (the
+    zero entries participate in the summation tree, as in
+    ``np.divide(..., where=earlier).sum(axis=1)``); survival products are
+    sequential (multiplying the masked 1.0 entries is exact, so they are
+    skipped); the final revenue dot replicates
+    ``np.add.reduce(prices * probabilities)``.
+    """
+    n = times.shape[0]
+    if n == 0:
+        return 0.0
+    row = np.empty(n, dtype=np.float64)
+    products = np.empty(n, dtype=np.float64)
+    for j in range(n):
+        t = times[j]
+        for k in range(n):
+            delta = float(t - times[k])
+            if delta > 0.0:
+                row[k] = 1.0 / delta
+            else:
+                row[k] = 0.0
+        memory = pairwise_sum(row, 0, n)
+        saturation = betas[j] ** memory
+        survival = 1.0
+        for k in range(n):
+            delta = times[j] - times[k]
+            if delta > 0 or (delta == 0 and items[j] != items[k]):
+                survival *= 1.0 - prims[k]
+        probability = (prims[j] * saturation) * survival
+        if not prims[j] > 0.0:
+            probability = 0.0
+        products[j] = prices[j] * probability
+    return pairwise_sum(products, 0, n)
+
+
+def extended_group_revenues(
+    base_times, base_items, base_prims, base_prices, base_betas,
+    cand_times, cand_items, cand_prims, cand_prices, cand_betas,
+):
+    """Revenues of ``group + [c]`` per candidate, replicating the model path.
+
+    Mirrors :meth:`repro.core.revenue.RevenueModel._extended_group_revenues`
+    for an all-miss pending set: the batched broadcast kernel when the
+    bucket clears ``BATCH_MIN_WORK`` pairwise terms, otherwise the adaptive
+    per-candidate dispatch (scalar loops below ``VECTORIZE_MIN_GROUP``
+    triples, the vectorized kernel at or above it).
+    """
+    n = base_times.shape[0]
+    m = cand_times.shape[0]
+    afters = np.empty(m, dtype=np.float64)
+    if m == 0:
+        return afters
+    if n == 0:
+        # Singleton groups: no memory, no competition.  Identical bits on
+        # both branches (0.0 + p*q == p*q), so no dispatch needed.
+        for j in range(m):
+            afters[j] = cand_prices[j] * cand_prims[j]
+        return afters
+    if m * (n + 1) ** 2 >= BATCH_MIN_WORK:
+        return _extended_batched(
+            base_times, base_items, base_prims, base_prices, base_betas,
+            cand_times, cand_items, cand_prims, cand_prices, cand_betas,
+        )
+    ext_times = np.empty(n + 1, dtype=np.int64)
+    ext_items = np.empty(n + 1, dtype=np.int64)
+    ext_prims = np.empty(n + 1, dtype=np.float64)
+    ext_prices = np.empty(n + 1, dtype=np.float64)
+    ext_betas = np.empty(n + 1, dtype=np.float64)
+    for k in range(n):
+        ext_times[k] = base_times[k]
+        ext_items[k] = base_items[k]
+        ext_prims[k] = base_prims[k]
+        ext_prices[k] = base_prices[k]
+        ext_betas[k] = base_betas[k]
+    for j in range(m):
+        ext_times[n] = cand_times[j]
+        ext_items[n] = cand_items[j]
+        ext_prims[n] = cand_prims[j]
+        ext_prices[n] = cand_prices[j]
+        ext_betas[n] = cand_betas[j]
+        if n + 1 < VECTORIZE_MIN_GROUP:
+            afters[j] = scalar_group_revenue(
+                ext_times, ext_items, ext_prims, ext_prices, ext_betas
+            )
+        else:
+            afters[j] = vectorized_group_revenue(
+                ext_times, ext_items, ext_prims, ext_prices, ext_betas
+            )
+    return afters
+
+
+def _extended_batched(
+    base_times, base_items, base_prims, base_prices, base_betas,
+    cand_times, cand_items, cand_prims, cand_prices, cand_betas,
+):
+    """Replica of :func:`repro.core.vectorized.vectorized_extended_group_revenues`."""
+    n = base_times.shape[0]
+    m = cand_times.shape[0]
+    afters = np.empty(m, dtype=np.float64)
+
+    # Base-group memory terms and survival products (candidate-independent).
+    base_memory = np.empty(n, dtype=np.float64)
+    base_survival = np.empty(n, dtype=np.float64)
+    row = np.empty(n, dtype=np.float64)
+    for k in range(n):
+        t = base_times[k]
+        for w in range(n):
+            delta = float(t - base_times[w])
+            if delta > 0.0:
+                row[w] = 1.0 / delta
+            else:
+                row[w] = 0.0
+        base_memory[k] = pairwise_sum(row, 0, n)
+        survival = 1.0
+        for w in range(n):
+            delta = base_times[k] - base_times[w]
+            if delta > 0 or (delta == 0 and base_items[k] != base_items[w]):
+                survival *= 1.0 - base_prims[w]
+        base_survival[k] = survival
+
+    products = np.empty(n, dtype=np.float64)
+    for j in range(m):
+        tc = cand_times[j]
+        # Contribution of the base triples under the extended group: each
+        # base triple k gains memory 1/(t_k - t_c) when the candidate is
+        # strictly earlier and a survival factor (1 - q_c) when the
+        # candidate competes with it.
+        for k in range(n):
+            delta = float(tc - base_times[k])
+            if delta < 0.0:
+                extra_memory = -1.0 / delta
+            else:
+                extra_memory = 0.0
+            saturation = base_betas[k] ** (base_memory[k] + extra_memory)
+            if delta < 0.0 or (delta == 0.0 and cand_items[j] != base_items[k]):
+                extra_survival = 1.0 - cand_prims[j]
+            else:
+                extra_survival = 1.0
+            probability = (
+                (base_prims[k] * saturation) * base_survival[k]
+            ) * extra_survival
+            if not base_prims[k] > 0.0:
+                probability = 0.0
+            products[k] = probability * base_prices[k]
+        base_contribution = pairwise_sum(products, 0, n)
+
+        # Contribution of the candidate itself.
+        for k in range(n):
+            delta = float(tc - base_times[k])
+            if delta > 0.0:
+                row[k] = 1.0 / delta
+            else:
+                row[k] = 0.0
+        cand_memory = pairwise_sum(row, 0, n)
+        survival = 1.0
+        for k in range(n):
+            delta = tc - base_times[k]
+            if delta > 0 or (delta == 0 and cand_items[j] != base_items[k]):
+                survival *= 1.0 - base_prims[k]
+        probability = (cand_prims[j] * (cand_betas[j] ** cand_memory)) * survival
+        if not cand_prims[j] > 0.0:
+            probability = 0.0
+        afters[j] = base_contribution + cand_prices[j] * probability
+    return afters
+
+
+def frontier_best(priorities, seeded, row, horizon):
+    """Best live priority of a frontier row, and its earliest time.
+
+    Returns ``(best, t)`` where ``best`` is ``-inf`` for a dead row.  The
+    earliest-time tie-break replicates the lower ``AddressableMaxHeap``:
+    entries are inserted in ascending time order, and its ``beats`` rule
+    prefers the earlier insertion on priority ties.
+    """
+    best = _NEG_INF
+    best_t = -1
+    for t in range(horizon):
+        if seeded[row, t] and priorities[row, t] > best:
+            best = priorities[row, t]
+            best_t = t
+    return best, best_t
+
+
+def heap_push(heap_pri, heap_row, size, priority, row):
+    """Push onto the (-priority, row) min-heap; grows the arrays on demand.
+
+    The comparator -- higher priority wins, ties to the smaller CSR row --
+    matches the ``heapq`` tuples of ``ColumnarFrontier``.  Any correct
+    binary heap yields the same peek sequence: entries are totally ordered
+    except for duplicate pushes of the same row, which are observationally
+    identical.
+    """
+    if size == heap_pri.shape[0]:
+        grown_pri = np.empty(2 * size + 8, dtype=np.float64)
+        grown_row = np.empty(2 * size + 8, dtype=np.int64)
+        for i in range(size):
+            grown_pri[i] = heap_pri[i]
+            grown_row[i] = heap_row[i]
+        heap_pri = grown_pri
+        heap_row = grown_row
+    index = size
+    heap_pri[index] = priority
+    heap_row[index] = row
+    while index > 0:
+        parent = (index - 1) // 2
+        if heap_pri[index] > heap_pri[parent] or (
+            heap_pri[index] == heap_pri[parent]
+            and heap_row[index] < heap_row[parent]
+        ):
+            heap_pri[index], heap_pri[parent] = heap_pri[parent], heap_pri[index]
+            heap_row[index], heap_row[parent] = heap_row[parent], heap_row[index]
+            index = parent
+        else:
+            break
+    return heap_pri, heap_row, size + 1
+
+
+def heap_pop(heap_pri, heap_row, size):
+    """Remove the heap root; returns the new size."""
+    size -= 1
+    heap_pri[0] = heap_pri[size]
+    heap_row[0] = heap_row[size]
+    index = 0
+    while True:
+        left = 2 * index + 1
+        if left >= size:
+            break
+        right = left + 1
+        child = left
+        if right < size and (
+            heap_pri[right] > heap_pri[left]
+            or (heap_pri[right] == heap_pri[left]
+                and heap_row[right] < heap_row[left])
+        ):
+            child = right
+        if heap_pri[child] > heap_pri[index] or (
+            heap_pri[child] == heap_pri[index]
+            and heap_row[child] < heap_row[index]
+        ):
+            heap_pri[index], heap_pri[child] = heap_pri[child], heap_pri[index]
+            heap_row[index], heap_row[child] = heap_row[child], heap_row[index]
+            index = child
+        else:
+            break
+    return size
+
+
+def admit_loop(
+    pair_user,
+    pair_item,
+    pair_group,
+    pair_probs,
+    prices,
+    capacities,
+    betas,
+    isolated,
+    seeded,
+    num_users,
+    num_groups,
+    display_limit,
+    max_selections,
+):
+    """The native lazy-refresh/admit loop of G-Greedy over CSR tensors.
+
+    Replicates :meth:`repro.core.selection.LazyGreedySelector.select` on the
+    serial columnar path (empty initial strategy, reference semantics,
+    group cache enabled) bit for bit: same admissions in the same order
+    with the same gains, same model counter totals.
+
+    Args:
+        pair_user/pair_item/pair_group: int64 ``(n_pairs,)`` CSR row
+            metadata (owning user, item, (user, class) group id).
+        pair_probs: float64 ``(n_pairs, horizon)`` primitive probabilities.
+        prices: float64 ``(n_items, horizon)``.
+        capacities: int64 ``(n_items,)`` distinct-user capacities.
+        betas: float64 ``(n_items,)`` saturation factors.
+        isolated: float64 ``(n_pairs, horizon)`` seed priorities
+            (isolated revenues); read-only.
+        seeded: bool ``(n_pairs, horizon)`` live-candidate mask; mutated.
+        max_selections: admission cap (pass a huge value for "no cap").
+
+    Returns:
+        ``(rows, ts, gains, admitted, evaluations, cache_hits, lookups)``
+        where the first three arrays are sized to capacity and only the
+        first ``admitted`` entries are meaningful.
+    """
+    n_pairs = pair_probs.shape[0]
+    horizon = pair_probs.shape[1]
+
+    # Upper frontier level: per-row best priority + lazy-deletion heap.
+    best = np.empty(n_pairs, dtype=np.float64)
+    live_rows = 0
+    for r in range(n_pairs):
+        row_best = _NEG_INF
+        for t in range(horizon):
+            if seeded[r, t] and isolated[r, t] > row_best:
+                row_best = isolated[r, t]
+        best[r] = row_best
+        if row_best > _NEG_INF:
+            live_rows += 1
+    heap_pri = np.empty(max(live_rows * 2, 16), dtype=np.float64)
+    heap_row = np.empty(max(live_rows * 2, 16), dtype=np.int64)
+    heap_size = 0
+    for r in range(n_pairs):
+        if best[r] > _NEG_INF:
+            heap_pri[heap_size] = best[r]
+            heap_row[heap_size] = r
+            heap_size += 1
+    # Floyd heapify (pop order is comparator-determined, so any valid heap
+    # reproduces the reference peek sequence).
+    for start in range(heap_size // 2 - 1, -1, -1):
+        index = start
+        while True:
+            left = 2 * index + 1
+            if left >= heap_size:
+                break
+            right = left + 1
+            child = left
+            if right < heap_size and (
+                heap_pri[right] > heap_pri[left]
+                or (heap_pri[right] == heap_pri[left]
+                    and heap_row[right] < heap_row[left])
+            ):
+                child = right
+            if heap_pri[child] > heap_pri[index] or (
+                heap_pri[child] == heap_pri[index]
+                and heap_row[child] < heap_row[index]
+            ):
+                heap_pri[index], heap_pri[child] = heap_pri[child], heap_pri[index]
+                heap_row[index], heap_row[child] = heap_row[child], heap_row[index]
+                index = child
+            else:
+                break
+
+    # Strategy bookkeeping (display counts, item audiences, group chains).
+    display_count = np.zeros(num_users * horizon, dtype=np.int32)
+    audience = np.zeros(capacities.shape[0], dtype=np.int64)
+    row_admitted = np.zeros(n_pairs, dtype=np.int32)
+    flag_row = np.zeros(n_pairs, dtype=np.int32)
+    group_size = np.zeros(num_groups, dtype=np.int32)
+    group_rev = np.zeros(num_groups, dtype=np.float64)
+    group_head = np.full(num_groups, -1, dtype=np.int64)
+    group_tail = np.full(num_groups, -1, dtype=np.int64)
+    # Whether the group's "before" revenue is memoised (the reference cache
+    # misses once per group, on the first refresh after its seed admission).
+    group_cached = np.zeros(num_groups, dtype=np.bool_)
+
+    # Admission log doubling as the strategy's group membership store.
+    adm_capacity = 64
+    adm_row = np.empty(adm_capacity, dtype=np.int64)
+    adm_t = np.empty(adm_capacity, dtype=np.int64)
+    adm_gain = np.empty(adm_capacity, dtype=np.float64)
+    adm_next = np.empty(adm_capacity, dtype=np.int64)
+
+    # Sparse per-row rescore store: the last scored "after" revenue and the
+    # resulting priority of each live candidate.  Rows never rescored read
+    # their priority straight from the isolated tensor.
+    row_slot = np.full(n_pairs, -1, dtype=np.int64)
+    slot_capacity = 64
+    slot_after = np.empty((slot_capacity, horizon), dtype=np.float64)
+    slot_pri = np.empty((slot_capacity, horizon), dtype=np.float64)
+    slot_count = 0
+
+    # Scratch buffers for rescores (group size is <= display_limit * horizon).
+    max_group = display_limit * horizon + 1
+    base_times = np.empty(max_group, dtype=np.int64)
+    base_items = np.empty(max_group, dtype=np.int64)
+    base_prims = np.empty(max_group, dtype=np.float64)
+    base_prices = np.empty(max_group, dtype=np.float64)
+    base_betas = np.empty(max_group, dtype=np.float64)
+    cand_times = np.empty(horizon, dtype=np.int64)
+    cand_items = np.empty(horizon, dtype=np.int64)
+    cand_prims = np.empty(horizon, dtype=np.float64)
+    cand_prices = np.empty(horizon, dtype=np.float64)
+    cand_betas = np.empty(horizon, dtype=np.float64)
+
+    admitted = 0
+    evaluations = 0
+    cache_hits = 0
+    lookups = 0
+
+    while live_rows > 0 and admitted < max_selections:
+        # Lazy-deletion peek: pop stale upper entries until the top is live.
+        row = -1
+        while heap_size > 0:
+            if best[heap_row[0]] == heap_pri[0]:
+                row = heap_row[0]
+                break
+            heap_size = heap_pop(heap_pri, heap_row, heap_size)
+        if row < 0:
+            break
+        priority, t = frontier_best_pri_t(
+            isolated, slot_pri, row_slot, seeded, row, horizon
+        )
+        user = pair_user[row]
+        item = pair_item[row]
+
+        # Constraint gate, display first (the blocked-discard split of
+        # ``_discard_blocked``: display exhaustion kills one triple,
+        # capacity exhaustion kills the whole row).
+        if display_count[user * horizon + t] >= display_limit:
+            seeded[row, t] = False
+            live_rows, heap_pri, heap_row, heap_size = _refresh_row(
+                isolated, slot_pri, row_slot, seeded, best, row, horizon,
+                live_rows, heap_pri, heap_row, heap_size,
+            )
+            continue
+        if row_admitted[row] == 0 and audience[item] >= capacities[item]:
+            for w in range(horizon):
+                seeded[row, w] = False
+            best[row] = _NEG_INF
+            live_rows -= 1
+            continue
+
+        group = pair_group[row]
+        freshness = group_size[group]
+        if flag_row[row] != freshness:
+            # Lazy refresh: rescore every live candidate of the row against
+            # the group's current prefix, replicating
+            # ``marginal_revenue_batch`` (one bucket) and its counters.
+            m = 0
+            for w in range(horizon):
+                if seeded[row, w]:
+                    cand_times[m] = w
+                    cand_items[m] = item
+                    cand_prims[m] = pair_probs[row, w]
+                    cand_prices[m] = prices[item, w]
+                    cand_betas[m] = betas[item]
+                    m += 1
+            n = group_size[group]
+            before = group_rev[group]
+            if n > 0:
+                if group_cached[group]:
+                    cache_hits += 1
+                else:
+                    evaluations += 1
+                    group_cached[group] = True
+            member = group_head[group]
+            position = 0
+            while member >= 0:
+                member_row = adm_row[member]
+                member_item = pair_item[member_row]
+                member_t = adm_t[member]
+                base_times[position] = member_t
+                base_items[position] = member_item
+                base_prims[position] = pair_probs[member_row, member_t]
+                base_prices[position] = prices[member_item, member_t]
+                base_betas[position] = betas[member_item]
+                position += 1
+                member = adm_next[member]
+            afters = extended_group_revenues(
+                base_times[:n], base_items[:n], base_prims[:n],
+                base_prices[:n], base_betas[:n],
+                cand_times[:m], cand_items[:m], cand_prims[:m],
+                cand_prices[:m], cand_betas[:m],
+            )
+            evaluations += m
+            lookups += m
+            slot = row_slot[row]
+            if slot < 0:
+                if slot_count == slot_capacity:
+                    grown_after = np.empty(
+                        (2 * slot_capacity, horizon), dtype=np.float64
+                    )
+                    grown_pri = np.empty(
+                        (2 * slot_capacity, horizon), dtype=np.float64
+                    )
+                    grown_after[:slot_capacity, :] = slot_after
+                    grown_pri[:slot_capacity, :] = slot_pri
+                    slot_after = grown_after
+                    slot_pri = grown_pri
+                    slot_capacity *= 2
+                slot = slot_count
+                slot_count += 1
+                row_slot[row] = slot
+            for j in range(m):
+                slot_after[slot, cand_times[j]] = afters[j]
+                slot_pri[slot, cand_times[j]] = afters[j] - before
+            flag_row[row] = freshness
+            live_rows, heap_pri, heap_row, heap_size = _refresh_row(
+                isolated, slot_pri, row_slot, seeded, best, row, horizon,
+                live_rows, heap_pri, heap_row, heap_size,
+            )
+            continue
+
+        if priority <= 0.0:
+            break
+
+        # Admit.  The group's new memoised revenue is the candidate's last
+        # scored "after" value (the seed priority itself for a group's
+        # first admission, which the reference scores against the empty
+        # prefix: after - 0.0 == after).
+        if freshness == 0:
+            after = priority
+        else:
+            after = slot_after[row_slot[row], t]
+        if admitted == adm_capacity:
+            grown_row = np.empty(2 * adm_capacity, dtype=np.int64)
+            grown_t = np.empty(2 * adm_capacity, dtype=np.int64)
+            grown_gain = np.empty(2 * adm_capacity, dtype=np.float64)
+            grown_next = np.empty(2 * adm_capacity, dtype=np.int64)
+            for i in range(adm_capacity):
+                grown_row[i] = adm_row[i]
+                grown_t[i] = adm_t[i]
+                grown_gain[i] = adm_gain[i]
+                grown_next[i] = adm_next[i]
+            adm_row = grown_row
+            adm_t = grown_t
+            adm_gain = grown_gain
+            adm_next = grown_next
+            adm_capacity *= 2
+        adm_row[admitted] = row
+        adm_t[admitted] = t
+        adm_gain[admitted] = priority
+        adm_next[admitted] = -1
+        if group_head[group] < 0:
+            group_head[group] = admitted
+        else:
+            adm_next[group_tail[group]] = admitted
+        group_tail[group] = admitted
+        group_size[group] += 1
+        group_rev[group] = after
+        group_cached[group] = freshness > 0
+        display_count[user * horizon + t] += 1
+        if row_admitted[row] == 0:
+            audience[item] += 1
+        row_admitted[row] += 1
+        admitted += 1
+        seeded[row, t] = False
+        live_rows, heap_pri, heap_row, heap_size = _refresh_row(
+            isolated, slot_pri, row_slot, seeded, best, row, horizon,
+            live_rows, heap_pri, heap_row, heap_size,
+        )
+
+    return (
+        adm_row[:admitted].copy(),
+        adm_t[:admitted].copy(),
+        adm_gain[:admitted].copy(),
+        admitted,
+        evaluations,
+        cache_hits,
+        lookups,
+    )
+
+
+def frontier_best_pri_t(isolated, slot_pri, row_slot, seeded, row, horizon):
+    """Best live (priority, earliest time) of a row under the rescore store."""
+    slot = row_slot[row]
+    best_priority = _NEG_INF
+    best_t = -1
+    for t in range(horizon):
+        if not seeded[row, t]:
+            continue
+        if slot >= 0:
+            priority = slot_pri[slot, t]
+        else:
+            priority = isolated[row, t]
+        if priority > best_priority:
+            best_priority = priority
+            best_t = t
+    return best_priority, best_t
+
+
+def _refresh_row(
+    isolated, slot_pri, row_slot, seeded, best, row, horizon,
+    live_rows, heap_pri, heap_row, heap_size,
+):
+    """Recompute a row's best and maintain the upper heap / live count.
+
+    Replicates ``ColumnarFrontier._refresh`` / ``_kill``: a changed best
+    pushes a fresh upper entry (the stale one is lazily deleted); an
+    emptied row dies without a push.
+    """
+    new_best, _ = frontier_best_pri_t(
+        isolated, slot_pri, row_slot, seeded, row, horizon
+    )
+    if new_best == _NEG_INF:
+        if best[row] != _NEG_INF:
+            best[row] = _NEG_INF
+            live_rows -= 1
+        return live_rows, heap_pri, heap_row, heap_size
+    if new_best != best[row]:
+        best[row] = new_best
+        heap_pri, heap_row, heap_size = heap_push(
+            heap_pri, heap_row, heap_size, new_best, row
+        )
+    return live_rows, heap_pri, heap_row, heap_size

@@ -53,7 +53,7 @@ orchestration on top of this class; the selection mechanics live here.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -235,13 +235,16 @@ class LazyGreedySelector:
             ablations and the scalability benchmarks.
         shards: partition users into this many contiguous CSR shards and run
             the selection across worker processes (:mod:`repro.shard`);
-            ``0`` means one shard per CPU core.  Only the paper-default
+            ``0`` means one shard per CPU core and ``"auto"`` lets the
+            measured cost model (:mod:`repro.autotune`) choose between
+            per-core sharding and the serial path.  Only the paper-default
             columnar configuration is sharded (isolated seeds, lazy forward,
             two-level frontier, numpy backend, whole ground set); anything
             else, and ``None``/``1``, runs the serial loop.  Sharded and
             serial selection admit bit-identical triples.
-        jobs: worker processes for the sharded path (default: one per
-            shard, capped at the core count; ``1``: all shards in-process).
+        jobs: worker processes for the sharded path (default and
+            ``"auto"``: one per shard, capped at the core count; ``1``: all
+            shards in-process).
         trace: optional :class:`SelectionTrace` receiving the run's
             per-user pop sequences (the dynamic re-solve layer's warm
             state).  A trace forces the serial loop: the sharded
@@ -257,8 +260,8 @@ class LazyGreedySelector:
                  max_selections: Optional[int] = None,
                  on_admit: Optional[Callable[[Triple, float], None]] = None,
                  use_compiled: Optional[bool] = None,
-                 shards: Optional[int] = None,
-                 jobs: Optional[int] = None,
+                 shards: Union[int, str, None] = None,
+                 jobs: Union[int, str, None] = None,
                  trace: Optional[SelectionTrace] = None,
                  ) -> None:
         if seed_priorities not in (SEED_ISOLATED, SEED_MARGINAL):
@@ -279,6 +282,9 @@ class LazyGreedySelector:
         self._shards = shards
         self._jobs = jobs
         self._trace = trace
+        #: Cost-model decision of the last ``"auto"`` resolution (``None``
+        #: until one happens); experiment extras surface it in records.
+        self.last_parallel_decision = None
 
     # ------------------------------------------------------------------
     # public entry point
@@ -310,9 +316,14 @@ class LazyGreedySelector:
         Returns:
             The number of triples admitted.
         """
-        if candidates is None and self._sharded_eligible():
-            return self._select_sharded(strategy, allowed_times,
-                                        growth_curve, initial_revenue)
+        if candidates is None:
+            shards = self._resolve_shards()
+            if self._sharded_eligible(shards):
+                return self._select_sharded(shards, strategy, allowed_times,
+                                            growth_curve, initial_revenue)
+            if self._kernel_eligible(strategy):
+                return self._select_native(strategy, allowed_times,
+                                           growth_curve, initial_revenue)
         heap, flags, group_keys = self._seed(strategy, candidates,
                                              allowed_times)
         if initial_revenue is None:
@@ -385,7 +396,29 @@ class LazyGreedySelector:
             and self._model.backend == "numpy"
         )
 
-    def _sharded_eligible(self) -> bool:
+    def _resolve_shards(self) -> Optional[int]:
+        """Resolve the shards request; ``"auto"`` consults the cost model.
+
+        Auto resolution happens only for configurations that could shard at
+        all -- everywhere else it degrades straight to ``None`` (serial)
+        without probing the machine.  The decision (prediction, effective
+        value, calibration numbers) is kept on
+        :attr:`last_parallel_decision` for experiment records.
+        """
+        shards = self._shards
+        if shards != "auto":
+            return shards
+        if not self._columnar_eligible() or self._trace is not None:
+            return None
+        from repro import autotune
+
+        decision = autotune.decide_shards(
+            self._instance.compiled().pair_user.shape[0], autotune.AUTO
+        )
+        self.last_parallel_decision = decision
+        return decision.effective
+
+    def _sharded_eligible(self, shards: Optional[int]) -> bool:
         """Sharding covers the columnar configuration with a compatible gain.
 
         The sharded workers rebuild the selection (and, for GlobalNo, the
@@ -394,7 +427,6 @@ class LazyGreedySelector:
         that reconstruction is faithful -- anything more exotic falls back
         to the serial loop.
         """
-        shards = self._shards
         if shards is None or shards == 1 or not self._columnar_eligible():
             return False
         if self._trace is not None:
@@ -408,7 +440,7 @@ class LazyGreedySelector:
         return sharding_compatible(self._instance, self._model,
                                    self._true_model)
 
-    def _select_sharded(self, strategy: Strategy,
+    def _select_sharded(self, shards: int, strategy: Strategy,
                         allowed_times: Optional[Iterable[int]],
                         growth_curve: Optional[List[Tuple[int, float]]],
                         initial_revenue: Optional[float]) -> int:
@@ -417,9 +449,10 @@ class LazyGreedySelector:
         # the multiprocessing machinery.
         from repro.shard import ShardedGreedySolver
 
+        jobs = None if self._jobs == "auto" else self._jobs
         solver = ShardedGreedySolver(
             self._instance, self._model, self._checker,
-            shards=self._shards, jobs=self._jobs,
+            shards=shards, jobs=jobs,
             true_model=self._true_model,
             max_selections=self._max_selections,
             on_admit=self._on_admit,
@@ -427,6 +460,67 @@ class LazyGreedySelector:
         return solver.select(strategy, allowed_times,
                              growth_curve=growth_curve,
                              initial_revenue=initial_revenue)
+
+    def _kernel_eligible(self, strategy: Strategy) -> bool:
+        """The native (JIT) admit loop covers cold paper-default solves.
+
+        Beyond columnar eligibility it needs: the numba tier active, a
+        reference model with a live compilation (the kernel replays its
+        scoring *and counter* semantics bit-for-bit), the stock
+        display-then-capacity constraint checker, an empty starting
+        strategy (the kernel seeds from isolated revenues alone), no trace
+        recording and no separate true model.  Anything else runs the
+        Python loop over the columnar frontier.
+        """
+        if not self._columnar_eligible():
+            return False
+        if self._trace is not None or self._true_model is not None:
+            return False
+        if len(strategy) != 0:
+            return False
+        if type(self._checker) is not ConstraintChecker:
+            return False
+        if not self._checker.enforces_capacity:
+            return False
+        from repro.core import kernels
+
+        return kernels.native_enabled() and self._model.native_compatible()
+
+    def _select_native(self, strategy: Strategy,
+                       allowed_times: Optional[Iterable[int]],
+                       growth_curve: Optional[List[Tuple[int, float]]],
+                       initial_revenue: Optional[float]) -> int:
+        """Run the JIT-compiled admit loop and replay its admissions.
+
+        The kernel returns the admitted ``(row, t, gain)`` sequence in
+        admission order plus the counter totals the reference loop would
+        have accumulated; this wrapper replays them through the exact side
+        effects of the serial loop (strategy adds, growth-curve points,
+        ``on_admit`` callbacks, model counters), so callers cannot tell the
+        tiers apart except by wall clock.
+        """
+        from repro.core import kernels
+
+        compiled = self._instance.compiled()
+        rows, ts, gains, counters = kernels.native_select(
+            compiled, allowed_times=allowed_times,
+            max_selections=self._max_selections,
+        )
+        if initial_revenue is None:
+            initial_revenue = growth_curve[-1][1] if growth_curve else 0.0
+        revenue = initial_revenue
+        pair_user = compiled.pair_user
+        pair_item = compiled.pair_item
+        for row, t, gain in zip(rows.tolist(), ts.tolist(), gains.tolist()):
+            triple = Triple(int(pair_user[row]), int(pair_item[row]), int(t))
+            strategy.add(triple)
+            revenue += gain
+            if growth_curve is not None:
+                growth_curve.append((len(strategy), revenue))
+            if self._on_admit is not None:
+                self._on_admit(triple, gain)
+        self._model.absorb_counts(**counters)
+        return int(rows.shape[0])
 
     def _seed(self, strategy: Strategy,
               candidates: Optional[Iterable[Triple]],

@@ -168,6 +168,19 @@ def _memory_from_deltas(delta: np.ndarray, earlier: np.ndarray) -> np.ndarray:
     return inverse.sum(axis=1)
 
 
+def _ordered_dot(prices: np.ndarray, probabilities: np.ndarray) -> np.ndarray:
+    """Price-weighted revenue reduction with a replicable accumulation order.
+
+    ``prices @ probabilities`` delegates to BLAS, whose accumulation order is
+    implementation-defined and varies with backend and vector length.  The
+    kernel tier (:mod:`repro.core.kernels`) must reproduce every reduction bit
+    for bit, so revenue dots go through ``np.add.reduce`` over the elementwise
+    product instead: that is NumPy's pairwise summation, a deterministic tree
+    the native kernels replicate exactly.
+    """
+    return np.add.reduce(prices * probabilities, axis=-1)
+
+
 def vectorized_memory_terms(times: np.ndarray) -> np.ndarray:
     """Memory terms ``M_S(u, i, t_j)`` for every triple of a group (Eq. 1).
 
@@ -224,7 +237,7 @@ def vectorized_group_revenue(instance: RevMaxInstance,
         return 0.0
     arrays = GroupArrays.from_group(instance, group, compiled)
     probabilities = vectorized_group_probabilities(arrays)
-    return float(arrays.prices @ probabilities)
+    return float(_ordered_dot(arrays.prices, probabilities))
 
 
 def vectorized_extended_group_revenues(
@@ -292,7 +305,7 @@ def vectorized_extended_group_revenues(
     base_probabilities = np.where(
         base.primitives[None, :] > 0.0, base_probabilities, 0.0
     )
-    base_contribution = base_probabilities @ base.prices
+    base_contribution = _ordered_dot(base_probabilities, base.prices[None, :])
 
     # --- contribution of the candidate itself ----------------------------
     cand_memory = _memory_from_deltas(delta, delta > 0.0)

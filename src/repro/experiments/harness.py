@@ -18,7 +18,7 @@ import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.algorithms.base import AlgorithmResult, RevMaxAlgorithm
 from repro.algorithms.baselines import TopRatingBaseline, TopRevenueBaseline
@@ -169,8 +169,8 @@ def standard_algorithms(
     include: Optional[Sequence[str]] = None,
     seed: int = 0,
     backend: Optional[str] = None,
-    rl_jobs: Optional[int] = None,
-    gg_shards: Optional[int] = None,
+    rl_jobs: Union[int, str, None] = None,
+    gg_shards: Union[int, str, None] = None,
 ) -> List[RevMaxAlgorithm]:
     """Build the six-algorithm suite the paper's figures compare.
 
@@ -184,14 +184,32 @@ def standard_algorithms(
             "python"; ``None`` uses the process default).  Handy for
             benchmarking the engines against each other on identical suites.
         rl_jobs: worker processes for RL-Greedy's permutation fan-out
-            (``None``: serial).  Leave unset when the whole suite already
-            runs under ``run_algorithms(jobs=...)`` -- nesting pools wins
-            nothing.
+            (``None``: serial; ``"auto"``: the cost model of
+            :mod:`repro.autotune` decides).  Leave unset when the whole
+            suite already runs under ``run_algorithms(jobs=...)`` --
+            nesting pools wins nothing.
         gg_shards: user shards for G-Greedy / GlobalNo's sharded selection
-            (:mod:`repro.shard`; ``None``: serial, ``0``: one per core).
-            Bit-identical results either way; the same nesting caveat as
-            ``rl_jobs`` applies.
+            (:mod:`repro.shard`; ``None``: serial, ``0``: one per core,
+            ``"auto"``: cost-model decided).  Bit-identical results either
+            way; the same nesting caveat as ``rl_jobs`` applies.
+
+    Explicit parallel requests the cost model predicts will lose (fewer
+    than two cores) are overridden to the serial path with a one-line
+    warning; the decision is pinned into the affected algorithms' result
+    extras, and :func:`experiment_records` surfaces it as
+    ``settings["degraded"]``.
     """
+    # Imported lazily: building a suite must not pay for the machinery
+    # unless a parallel knob is actually set.
+    if rl_jobs is not None or gg_shards is not None:
+        from repro import autotune
+
+        rl_jobs, rl_decision = autotune.override_losing_request("jobs", rl_jobs)
+        gg_shards, gg_decision = autotune.override_losing_request(
+            "shards", gg_shards
+        )
+    else:
+        rl_decision = gg_decision = None
     suite: Dict[str, RevMaxAlgorithm] = {
         "GG": GlobalGreedy(backend=backend, shards=gg_shards),
         "GG-No": GlobalGreedyNoSaturation(backend=backend, shards=gg_shards),
@@ -201,6 +219,13 @@ def standard_algorithms(
         "TopRev": TopRevenueBaseline(),
         "TopRat": TopRatingBaseline(predicted_ratings),
     }
+    if gg_decision is not None:
+        for key in ("GG", "GG-No"):
+            suite[key].pinned_extras = {"degraded": True,
+                                        "parallel": gg_decision.as_dict()}
+    if rl_decision is not None:
+        suite["RLG"].pinned_extras = {"degraded": True,
+                                      "parallel": rl_decision.as_dict()}
     if include is None:
         return list(suite.values())
     unknown = [key for key in include if key not in suite]
@@ -224,7 +249,7 @@ class ExperimentRecord:
 def run_algorithms(instance: RevMaxInstance,
                    algorithms: Iterable[RevMaxAlgorithm],
                    settings: Optional[Dict[str, object]] = None,
-                   jobs: Optional[int] = None,
+                   jobs: Union[int, str, None] = None,
                    ) -> Dict[str, AlgorithmResult]:
     """Run every algorithm on the instance and return results keyed by name.
 
@@ -234,9 +259,16 @@ def run_algorithms(instance: RevMaxInstance,
         settings: optional experiment settings merged into every result's
             extras (capacity distribution, beta, ... -- figure bookkeeping).
         jobs: worker processes (``None``/1: serial in-process; ``0``: one
-            per core).  Parallel runs return bit-identical revenues and
-            strategies; see :mod:`repro.experiments.parallel`.
+            per core; ``"auto"``: the cost model of :mod:`repro.autotune`
+            decides, running in-process where fan-out loses).  Parallel
+            runs return bit-identical revenues and strategies; see
+            :mod:`repro.experiments.parallel`.
     """
+    if jobs == "auto":
+        from repro import autotune
+
+        algorithms = list(algorithms)
+        jobs = autotune.decide_jobs(len(algorithms), autotune.AUTO).effective
     if jobs is not None and jobs != 1:
         # Imported lazily: the parallel runner is optional infrastructure
         # and pulls in multiprocessing machinery the serial path never needs.
@@ -259,16 +291,23 @@ def experiment_records(results: Mapping[str, AlgorithmResult],
 
     Serial and parallel runs flow through the same conversion, so a
     ``jobs=4`` suite merges into records identical (runtimes aside) to a
-    ``jobs=1`` suite.
+    ``jobs=1`` suite.  Solves whose explicit parallel request was degraded
+    by the cost model carry ``settings["degraded"] = True`` plus the
+    decision record, so downstream analysis can tell overridden runs apart.
     """
-    return [
-        ExperimentRecord(
+    records = []
+    for result in results.values():
+        row_settings = dict(settings or {})
+        if result.extras.get("degraded"):
+            row_settings["degraded"] = True
+            if "parallel" in result.extras:
+                row_settings["parallel"] = result.extras["parallel"]
+        records.append(ExperimentRecord(
             instance_name=result.instance_name,
             algorithm=result.algorithm,
             revenue=result.revenue,
             runtime_seconds=result.runtime_seconds,
             strategy_size=result.strategy_size,
-            settings=dict(settings or {}),
-        )
-        for result in results.values()
-    ]
+            settings=row_settings,
+        ))
+    return records

@@ -1,0 +1,242 @@
+"""Tests for the auto-parallelism cost model (:mod:`repro.autotune`).
+
+The decisions are pure functions of a :class:`ParallelCostModel`, so every
+scenario here injects synthetic calibrations -- a fat 8-core box with
+cheap spawns, a 1-core laptop -- instead of probing the machine; only the
+calibration round-trip itself touches the real probes.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import autotune
+from repro.autotune import (
+    AUTO,
+    MIN_PREDICTED_SPEEDUP,
+    ParallelCostModel,
+    cost_model,
+    decide_jobs,
+    decide_shards,
+    override_losing_request,
+    reset_cost_model,
+    warn_if_losing,
+)
+
+#: An 8-core machine where spawning is cheap relative to the work: a
+#: 4M-pair seeding sweep costs 0.4s serial vs ~0.05s + 8*1ms sharded.
+FAT_BOX = ParallelCostModel(cpu_count=8, spawn_overhead_seconds=0.001,
+                            per_pair_seconds=1e-7)
+
+#: A single-core machine: concurrency is 1, so sharding can never win.
+LAPTOP = ParallelCostModel(cpu_count=1, spawn_overhead_seconds=0.0,
+                           per_pair_seconds=1e-7)
+
+#: Many cores but outrageous spawn cost relative to tiny instances.
+SLOW_SPAWN = ParallelCostModel(cpu_count=8, spawn_overhead_seconds=1.0,
+                               per_pair_seconds=1e-7)
+
+
+class TestCostModel:
+    def test_predicted_speedup_shape(self):
+        # 4M pairs on the fat box: near-linear until spawn overhead bites.
+        big = FAT_BOX.predicted_shard_speedup(4_000_000, 8)
+        small = FAT_BOX.predicted_shard_speedup(1_000, 8)
+        assert big > MIN_PREDICTED_SPEEDUP
+        assert small < 1.0
+        assert FAT_BOX.predicted_shard_speedup(4_000_000, 4) > 1.0
+
+    def test_single_core_never_wins(self):
+        assert LAPTOP.predicted_shard_speedup(10**9, 4) <= 1.0
+
+    def test_as_dict_round_trip(self):
+        record = FAT_BOX.as_dict()
+        assert record == {
+            "cpu_count": 8,
+            "spawn_overhead_seconds": 0.001,
+            "per_pair_seconds": 1e-7,
+        }
+
+    def test_calibration_is_cached_and_resettable(self):
+        reset_cost_model()
+        try:
+            first = cost_model()
+            assert cost_model() is first
+            assert first.per_pair_seconds > 0.0
+            assert first.cpu_count >= 1
+            refreshed = cost_model(refresh=True)
+            assert refreshed is not first
+        finally:
+            reset_cost_model()
+
+
+class TestDecideShards:
+    def test_auto_wins_on_fat_box(self):
+        decision = decide_shards(4_000_000, AUTO, model=FAT_BOX)
+        assert decision.effective == 0  # per-core sharding
+        assert decision.parallel
+        assert not decision.degraded
+        assert decision.predicted_speedup >= MIN_PREDICTED_SPEEDUP
+
+    def test_auto_degrades_on_single_core(self):
+        decision = decide_shards(4_000_000, AUTO, model=LAPTOP)
+        assert decision.effective is None
+        assert not decision.parallel
+        assert not decision.degraded  # auto losing is the intended outcome
+        assert "serial" in decision.reason
+
+    def test_auto_degrades_on_tiny_instances(self):
+        decision = decide_shards(1_000, AUTO, model=FAT_BOX)
+        assert decision.effective is None
+        assert not decision.parallel
+
+    def test_explicit_request_honoured_but_flagged(self):
+        decision = decide_shards(1_000, 4, model=SLOW_SPAWN)
+        assert decision.effective == 4  # honoured: ablations must force it
+        assert decision.degraded
+        warned = pytest.warns(RuntimeWarning, match="shards='auto' would")
+        with warned:
+            warn_if_losing(decision, "test harness")
+
+    def test_explicit_winning_request_not_flagged(self):
+        decision = decide_shards(4_000_000, 8, model=FAT_BOX)
+        assert decision.effective == 8
+        assert not decision.degraded
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            warn_if_losing(decision, "test harness")
+
+    def test_serial_requests_pass_through(self):
+        assert decide_shards(10, None, model=FAT_BOX).effective is None
+        assert decide_shards(10, 1, model=FAT_BOX).effective == 1
+
+    def test_as_dict_carries_calibration(self):
+        record = decide_shards(4_000_000, AUTO, model=FAT_BOX).as_dict()
+        assert record["kind"] == "shards"
+        assert record["requested"] == AUTO
+        assert record["cost_model"] == FAT_BOX.as_dict()
+        assert set(record) >= {"effective", "parallel", "predicted_speedup",
+                               "degraded", "reason"}
+
+
+class TestDecideJobs:
+    def test_auto_scales_to_tasks_and_cores(self):
+        decision = decide_jobs(3, AUTO, model=FAT_BOX)
+        assert decision.effective == 3
+        decision = decide_jobs(50, AUTO, model=FAT_BOX)
+        assert decision.effective == 8
+
+    def test_auto_degrades_on_single_core_or_single_task(self):
+        assert decide_jobs(50, AUTO, model=LAPTOP).effective is None
+        assert decide_jobs(1, AUTO, model=FAT_BOX).effective is None
+
+    def test_explicit_request_honoured_but_flagged(self):
+        decision = decide_jobs(4, 4, model=LAPTOP)
+        assert decision.effective == 4
+        assert decision.degraded
+
+
+class TestOverrideLosingRequest:
+    def test_auto_and_serial_pass_through_untouched(self):
+        for requested in (AUTO, None, 1):
+            effective, decision = override_losing_request("shards", requested)
+            assert effective == requested
+            assert decision is None
+
+    def test_explicit_request_on_real_machine(self):
+        # On a single-core box the request is overridden with one warning
+        # and a degraded decision; on a multi-core box it passes through.
+        reset_cost_model()
+        try:
+            cores = cost_model().cpu_count
+            if cores < 2:
+                with pytest.warns(RuntimeWarning,
+                                  match="cannot win on 1 core"):
+                    effective, decision = override_losing_request("shards", 4)
+                assert effective is None
+                assert decision is not None
+                assert decision.degraded
+                assert decision.as_dict()["cost_model"]["cpu_count"] == cores
+            else:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("error")
+                    effective, decision = override_losing_request("shards", 4)
+                assert effective == 4
+                assert decision is None
+        finally:
+            reset_cost_model()
+
+
+class TestSelectorAutoIntegration:
+    def test_selector_auto_records_decision(self, tiny_amazon_pipeline):
+        from repro.core.constraints import ConstraintChecker
+        from repro.core.revenue import RevenueModel
+        from repro.core.selection import SEED_ISOLATED, LazyGreedySelector
+        from repro.core.strategy import Strategy
+
+        instance = tiny_amazon_pipeline.instance
+        model = RevenueModel(instance, backend="numpy")
+        auto = LazyGreedySelector(
+            instance, model, ConstraintChecker(instance),
+            seed_priorities=SEED_ISOLATED, shards="auto", jobs="auto",
+        )
+        strategy = Strategy(instance.catalog)
+        auto.select(strategy, None)
+
+        serial_model = RevenueModel(instance, backend="numpy")
+        serial = LazyGreedySelector(
+            instance, serial_model, ConstraintChecker(instance),
+            seed_priorities=SEED_ISOLATED,
+        )
+        reference = Strategy(instance.catalog)
+        serial.select(reference, None)
+
+        assert strategy.triples() == reference.triples()
+        decision = auto.last_parallel_decision
+        assert decision is not None
+        assert decision.kind == "shards"
+        assert decision.requested == AUTO
+        record = decision.as_dict()
+        assert record["cost_model"]["cpu_count"] >= 1
+
+    def test_global_greedy_auto_surfaces_extras(self, tiny_amazon_pipeline):
+        from repro.algorithms.global_greedy import GlobalGreedy
+
+        instance = tiny_amazon_pipeline.instance
+        auto = GlobalGreedy(backend="numpy", shards="auto", jobs="auto")
+        reference = GlobalGreedy(backend="numpy")
+        assert (auto.build_strategy(instance).triples()
+                == reference.build_strategy(instance).triples())
+        parallel = auto.last_extras["parallel"]
+        assert parallel["kind"] == "shards"
+        assert parallel["requested"] == AUTO
+
+    def test_autotune_module_is_lazy_for_serial_solves(self, monkeypatch):
+        # A plain serial selector must never probe the machine.
+        import sys
+
+        from repro.core.constraints import ConstraintChecker
+        from repro.core.revenue import RevenueModel
+        from repro.core.selection import SEED_ISOLATED, LazyGreedySelector
+        from repro.core.strategy import Strategy
+        from repro.datasets.synthetic import (
+            SyntheticConfig,
+            generate_synthetic_columnar,
+        )
+
+        instance = generate_synthetic_columnar(SyntheticConfig(
+            num_users=6, num_items=5, num_classes=2, candidates_per_user=3,
+            horizon=3, display_limit=1, capacity_fraction=0.5, beta=0.5,
+            seed=0,
+        ))
+        monkeypatch.setattr(autotune, "decide_shards", None)  # would blow up
+        model = RevenueModel(instance, backend="numpy")
+        selector = LazyGreedySelector(
+            instance, model, ConstraintChecker(instance),
+            seed_priorities=SEED_ISOLATED,
+        )
+        selector.select(Strategy(instance.catalog), None)
+        assert selector.last_parallel_decision is None
+        assert "repro.autotune" in sys.modules  # imported, never invoked

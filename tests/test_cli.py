@@ -35,7 +35,9 @@ class TestParser:
             assert args.jobs == 4
             defaults = parser.parse_args(argv)
             assert defaults.backend is None
-            assert defaults.jobs is None
+            # The cost model decides by default; it degrades to serial
+            # wherever parallelism would lose (repro.autotune).
+            assert defaults.jobs == "auto"
 
     def test_invalid_backend_rejected(self):
         with pytest.raises(SystemExit):

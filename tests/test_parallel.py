@@ -22,7 +22,12 @@ from repro.experiments.harness import (
     standard_algorithms,
 )
 from repro.experiments.parallel import run_permutations_parallel
-from repro.parallel import parallel_map
+from repro.parallel import (
+    PersistentPool,
+    parallel_map,
+    shutdown_persistent_pools,
+)
+from repro import parallel as parallel_module
 
 
 def _square(value):
@@ -38,6 +43,18 @@ def _setup(offset):
 
 def _offset_square(value):
     return value * value + _STATE["offset"]
+
+
+def _boom(value):
+    if value == 3:
+        raise ValueError(f"boom on {value}")
+    return value * value
+
+
+def _die(value):
+    if value == 2:
+        os._exit(9)
+    return value * value
 
 
 class TestParallelMap:
@@ -63,6 +80,82 @@ class TestParallelMap:
 
     def test_empty_items(self):
         assert parallel_map(_square, [], jobs=4) == []
+
+
+class TestPersistentPool:
+    """The reuse=True pool: one spawn amortized across many fan-outs."""
+
+    def teardown_method(self):
+        shutdown_persistent_pools()
+
+    def test_reuse_matches_fresh_pool_and_caches_workers(self):
+        items = list(range(10))
+        expected = [i * i for i in items]
+        assert parallel_map(_square, items, jobs=2, reuse=True) == expected
+        pool = parallel_module._persistent_pools[2]
+        assert pool.alive() and len(pool) == 2
+        # The second call reuses the very same worker processes.
+        assert parallel_map(_square, items, jobs=2, reuse=True) == expected
+        assert parallel_module._persistent_pools[2] is pool
+
+    def test_initializer_rebroadcast_each_call(self):
+        items = [1, 2, 3, 4]
+        first = parallel_map(_offset_square, items, jobs=2, reuse=True,
+                             initializer=_setup, initargs=(10,))
+        assert first == [i * i + 10 for i in items]
+        # Same pool, new per-call state: the old offset must not leak.
+        second = parallel_map(_offset_square, items, jobs=2, reuse=True,
+                              initializer=_setup, initargs=(-5,))
+        assert second == [i * i - 5 for i in items]
+
+    def test_task_error_propagates_but_pool_survives(self):
+        with pytest.raises(ValueError, match="boom on 3"):
+            parallel_map(_boom, [1, 2, 3, 4], jobs=2, reuse=True)
+        pool = parallel_module._persistent_pools[2]
+        assert pool.alive()
+        assert parallel_map(_square, [5, 6], jobs=2, reuse=True) == [25, 36]
+        assert parallel_module._persistent_pools[2] is pool
+
+    def test_dead_worker_discards_pool_and_next_call_rebuilds(self):
+        assert parallel_map(_square, [1, 2], jobs=2, reuse=True) == [1, 4]
+        doomed = parallel_module._persistent_pools[2]
+        with pytest.raises(RuntimeError, match="worker died mid-map"):
+            parallel_map(_die, [1, 2], jobs=2, reuse=True)
+        assert not doomed.alive()
+        # The poisoned pool was torn down; reuse transparently rebuilds.
+        assert parallel_map(_square, [7, 8], jobs=2, reuse=True) == [49, 64]
+        assert parallel_module._persistent_pools[2] is not doomed
+
+    def test_more_workers_than_items(self):
+        pool = PersistentPool(4)
+        try:
+            assert pool.map(_square, [3]) == [9]
+            assert pool.map(_square, list(range(9))) == [
+                i * i for i in range(9)
+            ]
+        finally:
+            pool.shutdown()
+        assert not pool.alive()
+
+    def test_shutdown_is_idempotent(self):
+        parallel_map(_square, [1, 2], jobs=2, reuse=True)
+        shutdown_persistent_pools()
+        assert parallel_module._persistent_pools == {}
+        shutdown_persistent_pools()  # second call is a no-op
+
+    def test_permutation_runs_identical_across_pool_reuse(
+            self, tiny_amazon_pipeline):
+        # run_permutations_parallel routes through the persistent pool;
+        # back-to-back calls (pool cold, then warm) must agree exactly.
+        instance = tiny_amazon_pipeline.instance
+        algorithm = RandomizedLocalGreedy(num_permutations=3, seed=5)
+        orders = algorithm._sample_permutations(instance.horizon)
+        cold = run_permutations_parallel(instance, orders, jobs=2)
+        warm = run_permutations_parallel(instance, orders, jobs=2)
+        serial = run_permutations_parallel(instance, orders, jobs=1)
+        for cold_run, warm_run, serial_run in zip(cold, warm, serial):
+            assert cold_run.revenue == warm_run.revenue == serial_run.revenue
+            assert cold_run.triples == warm_run.triples == serial_run.triples
 
 
 class TestParallelPermutations:
